@@ -1,0 +1,91 @@
+"""E10 — the rejected halt-check-before-receive design (paper §5.3).
+
+Paper: "One scheme would be to ensure no other nodes had halted before
+allowing a process to receive a message, resume from a semaphore wait, or
+claim a monitor lock ... determining if other nodes had halted requires a
+network interaction so the program would now execute at considerably
+reduced speed.  Even the claiming of a monitor lock, which occurs very
+frequently and experiences little contention, would probably result in
+network traffic.  Such poor performance is not suitable for a target
+environment debugger."
+
+Reproduced shape: a lock-heavy producer/consumer workload slows down by
+an order of magnitude when every semaphore resume / region claim pays a
+ring round trip, versus Pilgrim's zero-overhead design.
+"""
+
+from repro import MS, SEC, Cluster, Params
+from repro.mayflower.syscalls import Cpu, EnterRegion, ExitRegion, Signal, Wait
+from benchmarks.common import print_table
+
+ITEMS = 150
+
+
+def run_workload(halt_check_overhead: int, seed: int = 0) -> int:
+    """Virtual completion time of a producer/consumer + lock workload."""
+    params = Params(halt_check_network_overhead=halt_check_overhead)
+    cluster = Cluster(names=["app"], seed=seed, params=params, agents=False)
+    node = cluster.node("app")
+    items = node.semaphore(name="items")
+    space = node.semaphore(count=8, name="space")
+    lock = node.region("shared")
+    done = node.semaphore(name="done")
+    state = {"ledger": 0}
+
+    def producer():
+        for _ in range(ITEMS):
+            yield Wait(space)
+            yield EnterRegion(lock)
+            yield Cpu(30)
+            state["ledger"] += 1
+            yield ExitRegion(lock)
+            yield Signal(items)
+
+    def consumer():
+        for _ in range(ITEMS):
+            yield Wait(items)
+            yield EnterRegion(lock)
+            yield Cpu(30)
+            state["ledger"] -= 1
+            yield ExitRegion(lock)
+            yield Signal(space)
+        yield Signal(done)
+
+    def waiter():
+        yield Wait(done)
+
+    node.spawn(producer(), name="producer")
+    node.spawn(consumer(), name="consumer")
+    finisher = node.spawn(waiter(), name="finisher")
+    cluster.run()
+    assert not finisher.is_live() or finisher.state.value == "done"
+    assert state["ledger"] == 0
+    return cluster.world.now
+
+
+def run_experiment() -> list[list]:
+    ring_round_trip = 7 * MS  # two Basic Blocks, the §5.3 network check
+    pilgrim = run_workload(0)
+    rejected = run_workload(ring_round_trip)
+    return [
+        ["Pilgrim (no per-operation check)", pilgrim, "1.0x"],
+        [
+            "halt-check-before-receive (§5.3)",
+            rejected,
+            f"{rejected / pilgrim:.1f}x",
+        ],
+    ]
+
+
+def test_e10_haltcheck_ablation(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E10: rejected §5.3 design — per-operation network checks "
+        "(paper: 'considerably reduced speed')",
+        ["design", "workload completion (virtual us)", "slow-down"],
+        rows,
+    )
+    pilgrim_time = rows[0][1]
+    rejected_time = rows[1][1]
+    # "Considerably reduced speed": at least an order of magnitude here.
+    assert rejected_time > 10 * pilgrim_time

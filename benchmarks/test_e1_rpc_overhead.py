@@ -1,0 +1,47 @@
+"""E1 — RPC debug-instrumentation overhead (paper §4.3).
+
+Paper: "The effect of these changes to the RPC mechanism is to increase
+the time for an RPC by 400µs.  For a null RPC ... this represents a
+slow-down by 2.5%.  On more typical RPCs the slow-down is much less."
+
+Reproduced shape: overhead ~ 400 µs regardless of call size; percentage
+highest for the null call and falling as payloads grow.
+"""
+
+from benchmarks.common import measure_null_rpc, print_table
+
+
+def run_experiment() -> list[list]:
+    rows = []
+    for label, payload in [
+        ("null RPC", None),
+        ("1 KiB payload", "x" * 1024),
+        ("8 KiB payload", "x" * 8192),
+    ]:
+        plain = measure_null_rpc(debug_support=False, payload=payload)
+        instrumented = measure_null_rpc(debug_support=True, payload=payload)
+        overhead = instrumented - plain
+        slowdown = 100.0 * overhead / plain
+        rows.append([label, plain, instrumented, overhead, f"{slowdown:.2f}%"])
+    return rows
+
+
+def test_e1_rpc_overhead(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E1: RPC instrumentation overhead (paper: +400us, 2.5% on null RPC)",
+        ["call", "plain (us)", "instrumented (us)", "overhead (us)", "slow-down"],
+        rows,
+    )
+    null_row = rows[0]
+    overhead_us = null_row[3]
+    slowdown_pct = float(null_row[4].rstrip("%"))
+    # Paper: +400 us.
+    assert abs(overhead_us - 400) <= 40
+    # Paper: 2.5% on a null RPC.
+    assert 2.0 <= slowdown_pct <= 3.0
+    # "On more typical RPCs the slow-down is much less."
+    pct = [float(r[4].rstrip("%")) for r in rows]
+    assert pct[0] > pct[1] > pct[2]
+    # Overhead itself is size-independent.
+    assert all(abs(r[3] - 400) <= 40 for r in rows)

@@ -1,0 +1,52 @@
+"""E2 — the rejected packet-monitor design (paper §4.2).
+
+Paper: "the work performed in the RPC debugging support would be of the
+same order as that in the RPC implementation itself.  Thus RPCs might
+take twice as long when under control of the debugger.  This was
+unacceptable."
+
+Reproduced shape: baseline : direct-instrumentation : packet-monitor
+latencies of roughly 1 : 1.025 : 2.
+"""
+
+from benchmarks.common import measure_null_rpc, print_table
+
+
+def run_experiment() -> dict:
+    plain = measure_null_rpc(debug_support=False)
+    instrumented = measure_null_rpc(debug_support=True)
+    monitored = measure_null_rpc(debug_support=False, monitor=True)
+    return {
+        "plain": plain,
+        "instrumented": instrumented,
+        "monitored": monitored,
+    }
+
+
+def test_e2_monitor_ablation(benchmark):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    plain = result["plain"]
+    rows = [
+        ["no debugging support", plain, "1.00x"],
+        [
+            "direct instrumentation (Pilgrim, §4.3)",
+            result["instrumented"],
+            f"{result['instrumented'] / plain:.3f}x",
+        ],
+        [
+            "packet monitor (rejected, §4.2)",
+            result["monitored"],
+            f"{result['monitored'] / plain:.3f}x",
+        ],
+    ]
+    print_table(
+        "E2: packet-monitor ablation (paper: 'RPCs might take twice as long')",
+        ["design", "null RPC (us)", "ratio"],
+        rows,
+    )
+    instrumented_ratio = result["instrumented"] / plain
+    monitored_ratio = result["monitored"] / plain
+    assert 1.01 < instrumented_ratio < 1.05
+    assert 1.8 < monitored_ratio < 2.3
+    # The ordering that drove the design decision:
+    assert result["instrumented"] < result["monitored"]

@@ -1,0 +1,86 @@
+"""E3 — distributed halt broadcast latency (paper §5.2).
+
+Paper: "the minimum latency time [of an RPC] is about 8 ms ... this is
+close to the 3.5 ms required for a small Basic Block message ... Thus we
+could be confident of contacting only two nodes in the time available for
+halting remote processes."
+
+Reproduced shape: the k-th peer halts at about k * 3.5 ms (serial sends,
+no data-link broadcast), so exactly 2 peers are reachable within the 8 ms
+minimum RPC latency regardless of program size.
+"""
+
+from repro import MS, US, Cluster, Pilgrim
+from benchmarks.common import print_table
+
+SPIN = "proc main()\n  while true do\n    sleep(1000)\n  end\nend"
+
+
+def measure_halt_offsets(n_nodes: int, seed: int = 0) -> list[int]:
+    """Offsets (us) at which each peer halts, relative to the first node."""
+    names = [f"n{i}" for i in range(n_nodes)] + ["debugger"]
+    cluster = Cluster(names=names, seed=seed)
+    for i in range(n_nodes):
+        image = cluster.load_program(SPIN, f"n{i}")
+        cluster.spawn_vm(f"n{i}", image, "main")
+    dbg = Pilgrim(cluster, home="debugger")
+    dbg.connect(*[f"n{i}" for i in range(n_nodes)])
+    world = cluster.world
+    dbg.home.station.send(
+        0,
+        "agent",
+        {
+            "kind": "request",
+            "session": dbg.session_id,
+            "seq": 10_000,
+            "op": "halt",
+            "args": {},
+            "reply_to": dbg.home.node_id,
+        },
+        kind="agent_request",
+    )
+    halt_times = {}
+    deadline = world.now + 200 * MS
+    while len(halt_times) < n_nodes and world.now < deadline:
+        world.run(until=world.now + 100 * US)
+        for i in range(n_nodes):
+            if i not in halt_times and cluster.node(f"n{i}").agent.halted:
+                halt_times[i] = world.now
+    t0 = halt_times[0]
+    return sorted(t - t0 for i, t in halt_times.items() if i != 0)
+
+
+def run_experiment() -> list[list]:
+    rpc_min = 8 * MS
+    rows = []
+    for n_nodes in (2, 3, 4, 6, 8):
+        offsets = measure_halt_offsets(n_nodes)
+        reachable = sum(1 for off in offsets if off <= rpc_min)
+        last = offsets[-1] if offsets else 0
+        rows.append(
+            [
+                n_nodes,
+                len(offsets),
+                f"{last / 1000:.1f}ms",
+                reachable,
+            ]
+        )
+    return rows
+
+
+def test_e3_halt_latency(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E3: halt broadcast vs program size "
+        "(paper: 'confident of contacting only two nodes' within 8ms RPC min)",
+        ["nodes", "peers halted", "last peer halted at", "peers halted < 8ms"],
+        rows,
+    )
+    for row in rows:
+        n_nodes, peers, _last, reachable = row
+        assert peers == n_nodes - 1  # everyone halts eventually
+        assert reachable == min(2, n_nodes - 1)  # but only 2 inside 8 ms
+    # Serial spacing: last-peer time grows linearly with program size.
+    last_times = [float(r[2].rstrip("ms")) for r in rows]
+    assert last_times == sorted(last_times)
+    assert last_times[-1] > 3.4 * (rows[-1][0] - 1) - 1.0

@@ -1,0 +1,99 @@
+"""E4 — the Figure 2 breakpoint race: typical vs atypical computations.
+
+Paper Figure 2 / §5.1: process Q on node B waits on semaphore s with a
+10 s timeout; process P on node A calls a remote procedure on B which
+signals s.  If a breakpoint halts node A but not node B, "its semaphore
+wait may timeout whereas if the breakpoint hadn't occurred it may have
+been signalled by P first" — an atypical computation.
+
+Reproduced shape: with Pilgrim's distributed halting the signalled
+outcome is preserved for *any* pause length; without it, pauses longer
+than Q's remaining timeout always produce the atypical outcome.
+"""
+
+from repro import MS, SEC, Cluster, Pilgrim
+from benchmarks.common import print_table
+
+NODE_B = """
+var s: sem
+var outcome: string := "pending"
+proc setup()
+  s := semaphore(0)
+end
+proc poke() returns bool
+  signal(s)
+  return true
+end
+proc q()
+  var got: bool := wait(s, 10000000)
+  if got then
+    outcome := "signalled"
+  else
+    outcome := "timed_out"
+  end
+end
+"""
+
+NODE_A = """
+proc main()
+  sleep(2000000)
+  var r: bool := remote bsvc.poke()
+end
+"""
+
+
+def run_trial(halt_remote: bool, linger_us: int, seed: int) -> str:
+    cluster = Cluster(names=["a", "b", "debugger"], seed=seed)
+    image_b = cluster.load_program(NODE_B, "b")
+    cluster.rpc("b").export_vm("bsvc", image_b, {"poke": "poke"})
+    image_a = cluster.load_program(NODE_A, "a")
+    cluster.spawn_vm("b", image_b, "setup")
+    cluster.run_for(1 * MS)
+    cluster.spawn_vm("b", image_b, "q")
+    cluster.spawn_vm("a", image_a, "main")
+    dbg = Pilgrim(cluster, home="debugger")
+    if halt_remote:
+        dbg.connect("a", "b")
+    else:
+        dbg.connect("a")
+    cluster.run_for(1 * SEC)
+    dbg.halt("a")
+    dbg.run_for(linger_us)
+    dbg.resume("a")
+    cluster.run(until=cluster.world.now + 30 * SEC)
+    return image_b.globals["outcome"]
+
+
+def run_experiment() -> list[list]:
+    rows = []
+    seeds = [1, 2, 3]
+    for linger in (1 * SEC, 5 * SEC, 12 * SEC, 20 * SEC):
+        for halt_remote, label in ((True, "pilgrim"), (False, "local-only")):
+            atypical = 0
+            for seed in seeds:
+                outcome = run_trial(halt_remote, linger, seed)
+                if outcome != "signalled":
+                    atypical += 1
+            rows.append(
+                [f"{linger // SEC}s", label, f"{atypical}/{len(seeds)}"]
+            )
+    return rows
+
+
+def test_e4_breakpoint_race(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E4: Figure-2 race — atypical computations (Q times out) by halt scheme",
+        ["pause at breakpoint", "halting scheme", "atypical outcomes"],
+        rows,
+    )
+    results = {(row[0], row[1]): row[2] for row in rows}
+    # Pilgrim's distributed halt never perturbs the outcome.
+    for linger in ("1s", "5s", "12s", "20s"):
+        assert results[(linger, "pilgrim")] == "0/3"
+    # Local-only halting is safe only while the pause is shorter than Q's
+    # remaining timeout (~9 s at the halt).
+    assert results[("1s", "local-only")] == "0/3"
+    assert results[("5s", "local-only")] == "0/3"
+    assert results[("12s", "local-only")] == "3/3"
+    assert results[("20s", "local-only")] == "3/3"

@@ -1,0 +1,109 @@
+"""E5 — timeout-extension strategies for shared servers (paper §6.1–6.2,
+Figures 3 and 4).
+
+Correctness: a debugged client's lease must never expire because of time
+spent halted at breakpoints.  Cost: Figure 3 "has the disadvantage that
+an invocation of get_debuggee_status on the client is required at the
+start of every timeout, even when that client is not being debugged, and
+even when the timeout will not in fact expire.  The second method avoids
+this work unless the timeout does expire.  However it then involves a
+call to both get_debuggee_status and convert_debuggee_time."
+
+Reproduced shape: naive loses the lease under breakpoints; fig3 and fig4
+keep it; fig3's status-RPC count scales with timeouts *started* (i.e.
+with refreshes), fig4's with timeouts *expired*.
+"""
+
+from repro import MS, SEC, Cluster, Pilgrim
+from repro.mayflower.syscalls import Sleep
+from repro.servers.leases import LeaseTable
+from repro.servers.strategies import make_strategy
+from benchmarks.common import print_table
+
+SPIN = "proc main()\n  while true do\n    sleep(5000)\n  end\nend"
+
+
+def run_scenario(strategy_name: str, breakpoints: int, seed: int = 0) -> dict:
+    """A client refreshing a 150 ms lease every 100 ms for ~1.5 s of
+    logical time, breakpointed ``breakpoints`` times for 400 ms each."""
+    cluster = Cluster(names=["client", "server", "debugger"], seed=seed)
+    image = cluster.load_program(SPIN, "client")
+    cluster.spawn_vm("client", image, "main")
+    dbg = Pilgrim(cluster, home="debugger")
+    dbg.connect("client")
+
+    strategy = make_strategy(strategy_name)
+    table = LeaseTable(cluster.node("server"))
+    lease = table.create(cluster.node("client").node_id, 150 * MS, strategy)
+
+    # A server-side stand-in for the client's refresh traffic, driven by
+    # the *client's logical clock* (refreshes stop while it is halted,
+    # exactly like a real client process would).
+    client_clock = cluster.node("client").clock
+
+    def refresher(node):
+        last = client_clock.logical_now()
+        while lease.alive:
+            yield Sleep(10 * MS)
+            now = client_clock.logical_now()
+            if now - last >= 100 * MS:
+                lease.refresh()
+                last = now
+
+    server = cluster.node("server")
+    server.spawn(refresher(server), name="refresher")
+
+    for _ in range(breakpoints):
+        cluster.run_for(150 * MS)
+        dbg.halt("client")
+        dbg.run_for(400 * MS)
+        dbg.resume("client")
+    cluster.run_for(300 * MS)
+    survived = lease.alive
+    lease.release()
+    cluster.run_for(10 * MS)
+    counters = strategy.counters()
+    return {"survived": survived, **counters}
+
+
+def run_experiment() -> list[list]:
+    rows = []
+    for strategy_name in ("naive", "fig3", "fig4"):
+        for breakpoints in (0, 2):
+            result = run_scenario(strategy_name, breakpoints)
+            rows.append(
+                [
+                    strategy_name,
+                    breakpoints,
+                    "yes" if result["survived"] else "NO",
+                    result["status_rpcs"],
+                    result["convert_rpcs"],
+                    result["extensions"],
+                ]
+            )
+    return rows
+
+
+def test_e5_timeout_strategies(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E5: Figure-3/Figure-4 timeout strategies — survival and support-RPC cost",
+        ["strategy", "breakpoints", "lease survived", "status RPCs",
+         "convert RPCs", "extensions"],
+        rows,
+    )
+    by_key = {(r[0], r[1]): r for r in rows}
+    # Correctness: naive drops the lease under breakpoints; fig3/fig4 keep it.
+    assert by_key[("naive", 0)][2] == "yes"
+    assert by_key[("naive", 2)][2] == "NO"
+    assert by_key[("fig3", 2)][2] == "yes"
+    assert by_key[("fig4", 2)][2] == "yes"
+    # Cost shape: fig3 pays a status RPC per timeout *started* (one per
+    # refresh), so even the undisturbed run costs many RPCs; fig4 pays
+    # nothing until something expires.
+    assert by_key[("fig3", 0)][3] >= 2
+    assert by_key[("fig4", 0)][3] == 0
+    assert by_key[("naive", 0)][3] == 0
+    # fig4 uses convert_debuggee_time; fig3 never does.
+    assert by_key[("fig4", 2)][4] >= 1
+    assert by_key[("fig3", 2)][4] == 0

@@ -1,0 +1,92 @@
+"""E6 — AOTMan TUID survival across breakpoints (paper §6.2).
+
+Paper: "TUIDs must be continually refreshed before their timeouts,
+typically two to five minutes long, expire.  Finding a bug in a client,
+such as accidentally omitting to refresh a TUID, would be much easier if
+AOTMan extended timeouts by the correct amount when the client was under
+control of the debugger."
+
+Reproduced shape: with a naive AOTMan a breakpointed client's TUID dies
+mid-session; with the Figure-4 strategy it survives any halt, yet a
+client that genuinely forgets to refresh still loses it.
+"""
+
+from repro import MS, SEC, Cluster, Pilgrim
+from repro.servers import AotMan
+from benchmarks.common import print_table
+
+REFRESHING_CLIENT = """
+var tuid: int := 0
+proc main()
+  var t: any := remote aotman.issue("read")
+  tuid := t.id
+  while true do
+    sleep(50000)
+    var ok: bool := remote aotman.refresh(tuid)
+  end
+end
+"""
+
+FORGETFUL_CLIENT = """
+var tuid: int := 0
+proc main()
+  var t: any := remote aotman.issue("read")
+  tuid := t.id
+  while true do
+    sleep(50000)
+  end
+end
+"""
+
+
+def run_trial(strategy: str, client_src: str, halt_ms: int, seed: int = 0) -> bool:
+    """Returns True if the TUID is still valid at the end."""
+    cluster = Cluster(names=["client", "server", "debugger"], seed=seed)
+    aotman = AotMan(cluster, "server", strategy=strategy, lifetime=120 * MS)
+    image = cluster.load_program(client_src, "client")
+    cluster.spawn_vm("client", image, "main")
+    dbg = Pilgrim(cluster, home="debugger")
+    dbg.connect("client")
+    cluster.run_for(400 * MS)  # client obtains and maintains the TUID
+    tuid = image.globals["tuid"]
+    if halt_ms:
+        dbg.halt("client")
+        dbg.run_for(halt_ms * MS)
+        dbg.resume("client")
+    cluster.run_for(400 * MS)
+    return aotman.is_valid(tuid)
+
+
+def run_experiment() -> list[list]:
+    rows = []
+    cases = [
+        ("naive", REFRESHING_CLIENT, 0, "refreshing, no halt"),
+        ("naive", REFRESHING_CLIENT, 500, "refreshing, 500ms halt"),
+        ("fig4", REFRESHING_CLIENT, 0, "refreshing, no halt"),
+        ("fig4", REFRESHING_CLIENT, 500, "refreshing, 500ms halt"),
+        ("fig4", REFRESHING_CLIENT, 2000, "refreshing, 2s halt"),
+        ("fig4", FORGETFUL_CLIENT, 0, "forgets to refresh (the bug)"),
+    ]
+    for strategy, src, halt_ms, label in cases:
+        valid = run_trial(strategy, src, halt_ms)
+        rows.append([strategy, label, "valid" if valid else "EXPIRED"])
+    return rows
+
+
+def test_e6_tuid_refresh(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E6: TUID survival (paper: AOTMan should extend timeouts for "
+        "debugged clients)",
+        ["AOTMan strategy", "client behaviour", "TUID at end"],
+        rows,
+    )
+    outcome = {(r[0], r[1]): r[2] for r in rows}
+    assert outcome[("naive", "refreshing, no halt")] == "valid"
+    # The debugging session kills the naive server's TUID...
+    assert outcome[("naive", "refreshing, 500ms halt")] == "EXPIRED"
+    # ...but not the debug-aware one's, even for long halts.
+    assert outcome[("fig4", "refreshing, 500ms halt")] == "valid"
+    assert outcome[("fig4", "refreshing, 2s halt")] == "valid"
+    # And the actual bug under study is still observable while debugging.
+    assert outcome[("fig4", "forgets to refresh (the bug)")] == "EXPIRED"

@@ -1,0 +1,101 @@
+"""E7 — logical-clock consistency across nodes and breakpoints
+(paper §5.2 delta arithmetic, §6.1).
+
+Paper: "The logical times at each node of a program being debugged should
+be almost the same ... The sum of these values [the breakpoint log] will
+be almost the same as the logical time deltas at all nodes of the
+program."
+
+Reproduced shape: after k breakpoints, (a) the per-node deltas agree to
+within a few clock tolerances, (b) the debugger's breakpoint log total
+matches the deltas, and (c) convert_debuggee_time maps real dates to
+logical dates with bounded error.
+"""
+
+from repro import MS, SEC, Cluster, Pilgrim
+from benchmarks.common import print_table
+
+SPIN = "proc main()\n  while true do\n    sleep(2000)\n  end\nend"
+
+
+def run_trial(n_breakpoints: int, pause_ms: int, seed: int = 0) -> dict:
+    cluster = Cluster(names=["a", "b", "c", "debugger"], seed=seed)
+    for name in ("a", "b", "c"):
+        image = cluster.load_program(SPIN, name)
+        cluster.spawn_vm(name, image, "main")
+    dbg = Pilgrim(cluster, home="debugger")
+    dbg.connect("a", "b", "c")
+    checkpoints = []
+    for k in range(n_breakpoints):
+        cluster.run_for(100 * MS)
+        real_mark = cluster.world.now  # a 'past event' to convert later
+        checkpoints.append(real_mark)
+        dbg.halt("a")
+        dbg.run_for(pause_ms * MS)
+        dbg.resume("a")
+    cluster.run_for(50 * MS)
+    deltas = [cluster.node(n).clock.delta for n in ("a", "b", "c")]
+    skew = max(deltas) - min(deltas)
+    log_total = dbg.total_interruption()
+    # Convert each pre-halt checkpoint and compare with node a's actual
+    # logical time relationship.
+    conv_errors = []
+    clock_a = cluster.node("a").clock
+    for mark in checkpoints:
+        converted = dbg.convert_debuggee_time(mark)
+        # True logical time at that real moment: mark minus halt time
+        # accumulated before it — recompute from the final delta timeline
+        # is not directly available, so check the invariant instead:
+        # converting 'now' must equal node a's logical now.
+        conv_errors.append(abs(converted - mark) <= log_total)
+    now_err = abs(
+        dbg.convert_debuggee_time(clock_a.real_now()) - clock_a.logical_now()
+    )
+    return {
+        "deltas_ms": [d / 1000 for d in deltas],
+        "skew": skew,
+        "log_total": log_total,
+        "log_error": abs(log_total - deltas[0]),
+        "now_conversion_error": now_err,
+        "expected_total": n_breakpoints * pause_ms * MS,
+    }
+
+
+def run_experiment() -> list[list]:
+    rows = []
+    for n_breakpoints, pause_ms in ((1, 200), (3, 150), (6, 80)):
+        result = run_trial(n_breakpoints, pause_ms)
+        rows.append(
+            [
+                n_breakpoints,
+                f"{pause_ms}ms",
+                f"{result['deltas_ms'][0]:.1f}ms",
+                f"{result['skew'] / 1000:.2f}ms",
+                f"{result['log_total'] / 1000:.1f}ms",
+                f"{result['log_error'] / 1000:.2f}ms",
+                f"{result['now_conversion_error'] / 1000:.2f}ms",
+            ]
+        )
+    return rows
+
+
+def test_e7_logical_clock(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E7: logical clock consistency (paper: deltas 'almost the same' "
+        "across nodes; log total matches deltas)",
+        ["breakpoints", "pause", "node-a delta", "max inter-node skew",
+         "debugger log total", "log vs delta error", "convert(now) error"],
+        rows,
+    )
+    tolerance = Cluster(names=["x"]).params.clock_tolerance
+    for row in rows:
+        n_breakpoints = row[0]
+        skew_ms = float(row[3].rstrip("ms"))
+        log_err_ms = float(row[5].rstrip("ms"))
+        conv_err_ms = float(row[6].rstrip("ms"))
+        # Inter-node skew: bounded by one halt-broadcast span per breakpoint.
+        assert skew_ms * 1000 <= n_breakpoints * 4 * tolerance
+        # Debugger's log total tracks the real deltas.
+        assert log_err_ms * 1000 <= n_breakpoints * 5 * tolerance
+        assert conv_err_ms * 1000 <= n_breakpoints * 5 * tolerance

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""The paper's Figure 2 scenario: why breakpoints must halt *all* nodes.
+
+Process Q on node B waits on semaphore s with a 10-second timeout.  Node B
+also serves a remote procedure that signals s.  Process P on node A calls
+it after 2 seconds.  We breakpoint node A for 15 seconds around t=1s and
+compare:
+
+* Pilgrim's distributed halting (both nodes halted, Q's timeout frozen):
+  Q is signalled, exactly as in an undebugged run — a *typical*
+  computation.
+* Local-only halting (node B keeps running): Q's wait times out because P
+  was held at the breakpoint — Q "sees" that P has halted: an *atypical*
+  computation that could send the programmer chasing a bug that does not
+  exist.
+
+Run:  python examples/distributed_breakpoint.py
+"""
+
+from repro import MS, SEC, Cluster, Pilgrim
+
+NODE_B = """
+var s: sem
+var outcome: string := "pending"
+proc setup()
+  s := semaphore(0)
+end
+proc poke() returns bool
+  signal(s)
+  return true
+end
+proc q()
+  var got: bool := wait(s, 10000000)
+  if got then
+    outcome := "signalled"
+  else
+    outcome := "timed_out"
+  end
+end
+"""
+
+NODE_A = """
+proc main()
+  sleep(2000000)
+  var r: bool := remote bsvc.poke()
+end
+"""
+
+
+def run(halt_remote: bool) -> str:
+    cluster = Cluster(names=["a", "b", "debugger"])
+    image_b = cluster.load_program(NODE_B, "b")
+    cluster.rpc("b").export_vm("bsvc", image_b, {"poke": "poke"})
+    image_a = cluster.load_program(NODE_A, "a")
+
+    cluster.spawn_vm("b", image_b, "setup")
+    cluster.run_for(1 * MS)
+    cluster.spawn_vm("b", image_b, "q")
+    cluster.spawn_vm("a", image_a, "main")
+
+    dbg = Pilgrim(cluster, home="debugger")
+    if halt_remote:
+        dbg.connect("a", "b")  # both nodes under the debugger
+    else:
+        dbg.connect("a")  # node B left out (the broken setup)
+
+    cluster.run_for(1 * SEC)
+    dbg.halt("a")
+    print(f"  t={cluster.world.now // SEC}s: breakpoint on node A; "
+          f"node B halted too: {cluster.node('b').agent.halted}")
+    dbg.run_for(15 * SEC)  # the programmer inspects state for 15 s
+    dbg.resume("a")
+    cluster.run(until=cluster.world.now + 30 * SEC)
+    return image_b.globals["outcome"]
+
+
+def main() -> None:
+    print("Figure 2: Q waits 10s on s; P signals s via RPC after 2s.")
+    print("Breakpoint on node A at t=1s, held for 15s.\n")
+    print("[1] Pilgrim distributed halting:")
+    outcome = run(halt_remote=True)
+    print(f"  outcome for Q: {outcome}  (typical computation preserved)\n")
+    print("[2] halting node A only:")
+    outcome = run(halt_remote=False)
+    print(f"  outcome for Q: {outcome}  (atypical: Q observed P's halt)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Quickstart: attach Pilgrim to a running two-node program.
+
+Boots a client node calling a server node over exactly-once RPC, attaches
+the debugger *while the program runs* (the whole point of target-
+environment debugging), sets a source-line breakpoint, inspects state —
+including a backtrace that crosses the node boundary — then resumes and
+detaches, leaving the program running.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MS, SEC, Cluster, Pilgrim
+
+SERVER = """
+proc factorial(n: int) returns int
+  if n < 2 then
+    return 1
+  end
+  return n * factorial(n - 1)
+end
+"""
+
+CLIENT = """record request
+  n: int
+  answer: int
+end
+printop request show_request
+proc show_request(r: request) returns string
+  return "factorial(" + itoa(r.n) + ") = " + itoa(r.answer)
+end
+proc main()
+  var n: int := 0
+  while true do
+    n := n + 1
+    var req: request := request{n: n, answer: 0}
+    req.answer := remote mathsvc.factorial(n % 10 + 1)
+    print req
+    sleep(20000)
+  end
+end
+"""
+
+
+def main() -> None:
+    # One node for the client, one for the server, one for the debugger.
+    cluster = Cluster(names=["client", "server", "debugger"])
+    server_image = cluster.load_program(SERVER, "server")
+    cluster.rpc("server").export_vm("mathsvc", server_image,
+                                    {"factorial": "factorial"})
+    client_image = cluster.load_program(CLIENT, "client")
+    cluster.spawn_vm("client", client_image, "main")
+
+    # Let the program run in production for half a (virtual) second.
+    cluster.run_for(500 * MS)
+    print(f"program output so far: {client_image.console[-3:]}")
+
+    # Attach the debugger — no recompile, no restart.
+    dbg = Pilgrim(cluster, home="debugger")
+    dbg.connect("client", "server")
+    print(f"attached, session {dbg.session_id}")
+
+    # Break where the client records the answer (line 14: print req).
+    bp = dbg.break_at("client", "client", line=15)
+    hit = dbg.wait_for_breakpoint()
+    print(f"breakpoint: pid {hit['pid']} at {hit['proc']} line {hit['line']}")
+
+    # Inspect: the record displays through its own print operation.
+    print("req =", dbg.display("client", hit["pid"], "req"))
+    print("n   =", dbg.read_var("client", hit["pid"], "n"))
+
+    # A distributed backtrace during a live call: break inside the server.
+    dbg.resume("client")
+    dbg.clear(bp)
+    server_bp = dbg.break_at("server", "server", line=6)  # recursive step
+    hit = dbg.wait_for_breakpoint()
+    main_pid = next(
+        p["pid"] for p in dbg.processes("client") if p["name"] == "main"
+    )
+    print("\ndistributed backtrace (client -> server):")
+    for frame in dbg.distributed_backtrace("client", main_pid):
+        info = frame.get("info_block")
+        if frame.get("synthetic") and info:
+            print(f"  [node {frame['node']}] <rpc runtime> "
+                  f"call #{info['call_id']} {info['remote_proc']}")
+        else:
+            print(f"  [node {frame['node']}] {frame['proc']} "
+                  f"line {frame['line']}")
+
+    # Resume, detach, and let the program keep running.
+    dbg.resume("server")
+    dbg.clear(server_bp)
+    dbg.disconnect()
+    before = len(client_image.console)
+    cluster.run_for(300 * MS)
+    print(f"\nprogram still running after detach "
+          f"(+{len(client_image.console) - before} outputs)")
+
+
+if __name__ == "__main__":
+    main()

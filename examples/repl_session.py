@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""A scripted Pilgrim REPL session.
+
+Drives the same command set an interactive user would type, against a
+two-node producer/worker program.  Pass ``-i`` to take over at the prompt
+yourself afterwards.
+
+Run:  python examples/repl_session.py
+"""
+
+import sys
+
+from repro import Cluster, Pilgrim
+from repro.debugger.repl import PilgrimRepl
+
+WORKER_NODE = """
+proc hash(x: int) returns int
+  var h: int := x
+  h := (h * 31 + 7) % 1000003
+  sleep(5000)
+  return h
+end
+"""
+
+APP_NODE = """record job
+  id: int
+  result: int
+end
+printop job show_job
+proc show_job(j: job) returns string
+  return "job#" + itoa(j.id) + " -> " + itoa(j.result)
+end
+proc main()
+  var i: int := 0
+  while true do
+    i := i + 1
+    var j: job := job{id: i, result: 0}
+    j.result := remote hashsvc.hash(i)
+    print j
+    sleep(10000)
+  end
+end
+"""
+
+SCRIPT = [
+    "connect app worker",
+    "ps app",
+    "break app app 16",          # print j
+    "wait",
+    "bt app 3",
+    "print app 3 j",
+    "print app 3 i",
+    "set app 3 i 1000",
+    "step app 3",
+    "continue app",
+    "wait",
+    "print app 3 j",
+    "rpc app",
+    "time",
+    "clear 1",
+    "continue app",
+    "run 200ms",
+    "disconnect",
+]
+
+
+def main() -> None:
+    cluster = Cluster(names=["app", "worker", "debugger"])
+    worker_image = cluster.load_program(WORKER_NODE, "worker")
+    cluster.rpc("worker").export_vm("hashsvc", worker_image, {"hash": "hash"})
+    app_image = cluster.load_program(APP_NODE, "app")
+    cluster.spawn_vm("app", app_image, "main")
+
+    dbg = Pilgrim(cluster, home="debugger")
+    repl = PilgrimRepl(dbg, output=print)
+    repl.run_script(SCRIPT)
+
+    if "-i" in sys.argv:
+        print("\n-- interactive mode ('quit' to exit) --")
+        while not repl.done:
+            try:
+                line = input("(pilgrim) ")
+            except EOFError:
+                break
+            repl.execute(line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Debugging a client of shared servers (paper §6).
+
+A client holds a machine from the Resource Manager and a TUID from
+AOTMan, refreshing both.  We breakpoint the client far longer than either
+lease and show:
+
+* a *naive* AOTMan silently expires the TUID during the halt (the
+  debugging session broke the program),
+* the Figure-4 AOTMan extends it by exactly the halted time, using
+  ``get_debuggee_status`` at the client's agent and
+  ``convert_debuggee_time`` at the debugger,
+* the Resource Manager's extended lease is still reclaimed the moment a
+  client *outside* the session wants the scarce machine (§6.2's
+  contention rule).
+
+Run:  python examples/shared_server_debugging.py
+"""
+
+from repro import MS, SEC, Cluster, Pilgrim
+from repro.rpc.runtime import remote_call
+from repro.servers import AotMan, ResourceManager
+
+CLIENT = """
+var tuid: int := 0
+var machine: string := ""
+proc main()
+  var t: any := remote aotman.issue("files:rw")
+  tuid := t.id
+  var a: any := remote resman.allocate()
+  machine := a.machine
+  while true do
+    sleep(60000)
+    var ok1: bool := remote aotman.refresh(tuid)
+    var ok2: bool := remote resman.refresh(machine)
+  end
+end
+"""
+
+
+def run(strategy: str) -> None:
+    cluster = Cluster(names=["client", "other", "services", "debugger"])
+    aotman = AotMan(cluster, "services", strategy=strategy, lifetime=150 * MS)
+    manager = ResourceManager(
+        cluster, "services", ["vax1"], strategy="ignore", timeout=150 * MS
+    )
+    image = cluster.load_program(CLIENT, "client")
+    cluster.spawn_vm("client", image, "main")
+
+    dbg = Pilgrim(cluster, home="debugger")
+    dbg.connect("client")
+    cluster.run_for(500 * MS)
+    tuid = image.globals["tuid"]
+    machine = image.globals["machine"]
+    print(f"  client holds TUID {tuid:#x} and machine {machine!r}")
+
+    print("  breakpointing the client for 2s (leases are 150ms)...")
+    dbg.halt("client")
+    dbg.run_for(2 * SEC)
+    valid_during = aotman.is_valid(tuid)
+    print(f"  mid-halt: TUID valid = {valid_during}, "
+          f"support RPCs so far = {aotman.strategy.counters()}")
+    dbg.resume("client")
+    cluster.run_for(500 * MS)
+    print(f"  after resume: TUID valid = {aotman.is_valid(tuid)}, "
+          f"machine still held = {machine in manager.allocations}")
+
+    # Contention: a client outside the session wants the machine.
+    print("  an undebugged client now requests the scarce machine...")
+    dbg.halt("client")
+    got = {}
+
+    def contender(node):
+        allocation = yield from remote_call(node.rpc, "resman", "allocate")
+        got.update(allocation.fields)
+
+    other = cluster.node("other")
+    other.spawn(contender(other), name="contender")
+    cluster.run_for(1 * SEC)
+    print(f"  contender got machine: {got.get('machine')!r} "
+          f"(reclaims by contention: {manager.reclaimed_by_contention})")
+    dbg.resume("client")
+    dbg.disconnect()
+
+
+def main() -> None:
+    print("[1] naive AOTMan (no debugging support):")
+    run("naive")
+    print()
+    print("[2] Figure-4 AOTMan (get_debuggee_status + convert_debuggee_time):")
+    run("fig4")
+
+
+if __name__ == "__main__":
+    main()

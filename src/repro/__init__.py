@@ -1,0 +1,44 @@
+"""Reproduction of "Pilgrim: A Debugger for Distributed Systems"
+(Robert Cooper, ICDCS 1987).
+
+Quick start::
+
+    from repro import Cluster, Pilgrim, MS
+
+    cluster = Cluster(names=["app", "server", "debugger"])
+    image = cluster.load_program(SOURCE, "app")
+    cluster.spawn_vm("app", image, "main")
+
+    dbg = Pilgrim(cluster, home="debugger")
+    dbg.connect("app", "server")
+    bp = dbg.break_at("app", "main", line=4)
+    hit = dbg.wait_for_breakpoint()
+    print(dbg.backtrace("app", hit["pid"]))
+    dbg.resume("app")
+    dbg.disconnect()
+
+Layers (bottom up): :mod:`repro.sim` (event kernel), :mod:`repro.mayflower`
+(supervisor), :mod:`repro.ring` (network), :mod:`repro.cvm` +
+:mod:`repro.cclu` (language and VM), :mod:`repro.rpc`, :mod:`repro.agent`,
+:mod:`repro.debugger`, :mod:`repro.servers` (debug-aware shared services).
+"""
+
+from repro.cluster import Cluster
+from repro.debugger.pilgrim import AgentError, DebuggerError, Pilgrim
+from repro.params import DEFAULT_PARAMS, Params
+from repro.sim.units import MS, SEC, US
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "Pilgrim",
+    "AgentError",
+    "DebuggerError",
+    "Params",
+    "DEFAULT_PARAMS",
+    "US",
+    "MS",
+    "SEC",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""The Pilgrim agent: the per-node, dormant-until-connected debugging
+support code linked into every program (paper §3).
+"""
+
+from repro.agent.agent import PilgrimAgent, sanitize
+from repro.agent.requests import (
+    AGENT_PORT,
+    DEBUG_SERVICE,
+    DEBUGGER_PORT,
+    NO_DEBUGGER,
+)
+
+__all__ = [
+    "PilgrimAgent",
+    "sanitize",
+    "AGENT_PORT",
+    "DEBUG_SERVICE",
+    "DEBUGGER_PORT",
+    "NO_DEBUGGER",
+]

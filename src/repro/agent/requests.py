@@ -1,0 +1,58 @@
+"""Agent request/response vocabulary.
+
+Every logical debugger request is a single network interaction (paper §3:
+"Expressing each logical request from the debugger as a single network
+interaction improves the overall performance").  Requests and responses
+are plain dicts on the wire; this module names the request kinds and the
+special values.
+"""
+
+# Session management
+CONNECT = "connect"
+DISCONNECT = "disconnect"
+
+# Process inspection and control (paper §5.4)
+LIST_PROCESSES = "list_processes"
+PROCESS_STATE = "process_state"
+BACKTRACE = "backtrace"
+WAKE_PROCESS = "wake_process"
+
+# Memory access
+READ_VAR = "read_var"
+WRITE_VAR = "write_var"
+READ_GLOBAL = "read_global"
+WRITE_GLOBAL = "write_global"
+
+# Breakpoints (paper §5.5)
+SET_BREAKPOINT = "set_breakpoint"
+CLEAR_BREAKPOINT = "clear_breakpoint"
+STEP = "step"
+CONTINUE = "continue"
+HALT = "halt"
+
+# Procedure invocation / display (paper §3)
+INVOKE = "invoke"
+DISPLAY = "display"
+
+# RPC debugging (paper §4)
+RPC_INFO = "rpc_info"
+RPC_SERVER_RECORD = "rpc_server_record"
+
+# Peer coordination (paper §5.2)
+SET_PEERS = "set_peers"
+
+# Events pushed from agent to debugger
+EVENT_BREAKPOINT = "breakpoint"
+EVENT_FAILURE = "failure"
+EVENT_STEPPED = "stepped"
+
+#: The network-address value meaning "not under control of a debugger"
+#: (the special value of get_debuggee_status, paper §6.1).
+NO_DEBUGGER = -1
+
+AGENT_PORT = "agent"
+DEBUGGER_PORT = "pilgrim"
+
+#: The halt-exempt RPC service every agent exports for shared servers
+#: (get_debuggee_status lives here, paper §6.1).
+DEBUG_SERVICE = "_debug"

@@ -1,0 +1,12 @@
+"""CCLU: the Concurrent CLU analog source language.
+
+Compile source with :func:`compile_program`, link the resulting
+:class:`~repro.cvm.image.Program` onto nodes, and run procedures as
+Mayflower processes via :class:`~repro.cvm.interp.VmExecutor`.
+"""
+
+from repro.cclu.codegen import compile_program
+from repro.cclu.lexer import CluCompileError, tokenize
+from repro.cclu.parser import parse
+
+__all__ = ["compile_program", "CluCompileError", "tokenize", "parse"]

@@ -1,0 +1,186 @@
+"""AST node definitions for CCLU."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class Literal(Expr):
+    value: Any = None
+
+
+@dataclass
+class Name(Expr):
+    ident: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""  # '-' | 'not'
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class CallExpr(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class RemoteCall(Expr):
+    """``remote [maybe|once] service.proc(args)`` (paper §2: two RPC
+    protocols, exactly-once and maybe)."""
+
+    service: str = ""
+    proc: str = ""
+    protocol: str = "once"
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class FieldAccess(Expr):
+    target: Optional[Expr] = None
+    fieldname: str = ""
+
+
+@dataclass
+class IndexAccess(Expr):
+    target: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class ArrayLiteral(Expr):
+    items: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class RecordLiteral(Expr):
+    type_name: str = ""
+    fields: list[tuple[str, Expr]] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    type_name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    target: Optional[Expr] = None  # Name, FieldAccess, or IndexAccess
+    value: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    # list of (condition, body); final else has condition None
+    arms: list[tuple[Optional[Expr], list[Stmt]]] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    condition: Optional[Expr] = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class For(Stmt):
+    var: str = ""
+    start: Optional[Expr] = None
+    stop: Optional[Expr] = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Print(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class SpawnStmt(Stmt):
+    proc: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+# ----------------------------------------------------------------------
+# Top-level declarations
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ProcDecl:
+    name: str = ""
+    params: list[tuple[str, str]] = field(default_factory=list)  # (name, type)
+    returns: Optional[str] = None
+    body: list[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class RecordDecl:
+    name: str = ""
+    fields: list[tuple[str, str]] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class PrintopDecl:
+    type_name: str = ""
+    proc_name: str = ""
+    line: int = 0
+
+
+@dataclass
+class GlobalDecl:
+    name: str = ""
+    type_name: str = ""
+    init: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class Module:
+    procs: list[ProcDecl] = field(default_factory=list)
+    records: list[RecordDecl] = field(default_factory=list)
+    printops: list[PrintopDecl] = field(default_factory=list)
+    globals: list[GlobalDecl] = field(default_factory=list)

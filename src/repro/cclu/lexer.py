@@ -1,0 +1,136 @@
+"""Lexer for the Concurrent CLU analog (CCLU).
+
+CCLU is the small CLU-flavoured source language of the reproduction.  Its
+job is to make Pilgrim's *source-level* features real: breakpoints name
+file lines, variables have source names, and user types carry print
+operations.  A representative program::
+
+    record point
+      x: int
+      y: int
+    end
+
+    printop point print_point
+
+    proc print_point(p: point) returns string
+      return "(" + str(p.x) + ", " + str(p.y) + ")"
+    end
+
+    proc main()
+      var total: int := 0
+      for i := 1 to 10 do
+        total := total + i
+      end
+      var r: int := remote calc.add(total, 5)
+      if failed(r) then
+        print "call failed"
+      else
+        print r
+      end
+    end
+
+Comments run from ``--`` to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class CluCompileError(Exception):
+    """A compile-time error, with source position."""
+
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+KEYWORDS = {
+    "proc", "returns", "end", "var", "if", "then", "elseif", "else",
+    "while", "do", "for", "to", "return", "print", "spawn", "record",
+    "printop", "remote", "maybe", "once", "and", "or", "not",
+    "true", "false", "nil",
+}
+
+# Multi-character operators first so they win the scan.
+OPERATORS = [
+    ":=", "<=", ">=", "~=",
+    "+", "-", "*", "/", "%", "=", "<", ">",
+    "(", ")", "[", "]", "{", "}", ",", ".", ":",
+]
+
+
+@dataclass
+class Token:
+    kind: str  # 'ident' | 'int' | 'string' | 'kw' | 'op' | 'eof'
+    value: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.value!r}@{self.line}"
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    line = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("--", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            if i < n and source[i].isalpha():
+                raise CluCompileError(f"bad number near {source[start:i+1]!r}", line)
+            tokens.append(Token("int", source[start:i], line))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            word = source[start:i]
+            kind = "kw" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line))
+            continue
+        if ch == '"':
+            i += 1
+            parts = []
+            while i < n and source[i] != '"':
+                if source[i] == "\n":
+                    raise CluCompileError("unterminated string", line)
+                if source[i] == "\\" and i + 1 < n:
+                    escape = source[i + 1]
+                    mapping = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+                    if escape not in mapping:
+                        raise CluCompileError(f"bad escape \\{escape}", line)
+                    parts.append(mapping[escape])
+                    i += 2
+                    continue
+                parts.append(source[i])
+                i += 1
+            if i >= n:
+                raise CluCompileError("unterminated string", line)
+            i += 1
+            tokens.append(Token("string", "".join(parts), line))
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line))
+                i += len(op)
+                break
+        else:
+            raise CluCompileError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens

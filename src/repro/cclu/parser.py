@@ -1,0 +1,406 @@
+"""Recursive-descent parser for CCLU."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cclu import ast
+from repro.cclu.lexer import CluCompileError, Token, tokenize
+
+#: Types accepted in declarations.  Record type names are added per-module.
+BASE_TYPES = {"int", "bool", "string", "sem", "region", "monitor", "array", "any", "pid"}
+
+#: Intrinsics usable only as statements (they leave nothing on the stack).
+STATEMENT_INTRINSICS = {"signal", "sleep", "enter", "leave", "msignal", "mbroadcast"}
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.record_names: set[str] = set()
+        # Pre-scan record names so record literals parse anywhere.
+        for i, token in enumerate(self.tokens):
+            if token.kind == "kw" and token.value == "record":
+                nxt = self.tokens[i + 1]
+                if nxt.kind == "ident":
+                    self.record_names.add(nxt.value)
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def at(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (value is None or token.value == value)
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.peek()
+        if not self.at(kind, value):
+            want = value or kind
+            raise CluCompileError(
+                f"expected {want!r}, found {token.value or token.kind!r}", token.line
+            )
+        return self.next()
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        if self.at(kind, value):
+            return self.next()
+        return None
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def parse_module(self) -> ast.Module:
+        module = ast.Module()
+        while not self.at("eof"):
+            if self.at("kw", "proc"):
+                module.procs.append(self.parse_proc())
+            elif self.at("kw", "record"):
+                module.records.append(self.parse_record())
+            elif self.at("kw", "printop"):
+                module.printops.append(self.parse_printop())
+            elif self.at("kw", "var"):
+                module.globals.append(self.parse_global())
+            else:
+                token = self.peek()
+                raise CluCompileError(
+                    f"expected a declaration, found {token.value!r}", token.line
+                )
+        return module
+
+    def parse_proc(self) -> ast.ProcDecl:
+        line = self.expect("kw", "proc").line
+        name = self.expect("ident").value
+        self.expect("op", "(")
+        params: list[tuple[str, str]] = []
+        if not self.at("op", ")"):
+            while True:
+                pname = self.expect("ident").value
+                self.expect("op", ":")
+                ptype = self.parse_type()
+                params.append((pname, ptype))
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        returns = None
+        if self.accept("kw", "returns"):
+            returns = self.parse_type()
+        body = self.parse_block({"end"})
+        self.expect("kw", "end")
+        return ast.ProcDecl(name=name, params=params, returns=returns,
+                            body=body, line=line)
+
+    def parse_record(self) -> ast.RecordDecl:
+        line = self.expect("kw", "record").line
+        name = self.expect("ident").value
+        fields: list[tuple[str, str]] = []
+        while not self.at("kw", "end"):
+            fname = self.expect("ident").value
+            self.expect("op", ":")
+            ftype = self.parse_type()
+            fields.append((fname, ftype))
+        self.expect("kw", "end")
+        if not fields:
+            raise CluCompileError(f"record {name} has no fields", line)
+        return ast.RecordDecl(name=name, fields=fields, line=line)
+
+    def parse_printop(self) -> ast.PrintopDecl:
+        line = self.expect("kw", "printop").line
+        type_name = self.expect("ident").value
+        proc_name = self.expect("ident").value
+        return ast.PrintopDecl(type_name=type_name, proc_name=proc_name, line=line)
+
+    def parse_global(self) -> ast.GlobalDecl:
+        line = self.expect("kw", "var").line
+        name = self.expect("ident").value
+        self.expect("op", ":")
+        type_name = self.parse_type()
+        init = None
+        if self.accept("op", ":="):
+            init = self.parse_expr()
+        return ast.GlobalDecl(name=name, type_name=type_name, init=init, line=line)
+
+    def parse_type(self) -> str:
+        token = self.expect("ident") if self.peek().kind == "ident" else self.next()
+        name = token.value
+        if name not in BASE_TYPES and name not in self.record_names:
+            raise CluCompileError(f"unknown type {name!r}", token.line)
+        if name == "array" and self.accept("op", "["):
+            inner = self.parse_type()
+            self.expect("op", "]")
+            return f"array[{inner}]"
+        return name
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def parse_block(self, terminators: set[str]) -> list[ast.Stmt]:
+        body: list[ast.Stmt] = []
+        while not (self.peek().kind == "kw" and self.peek().value in terminators):
+            if self.at("eof"):
+                raise CluCompileError("unexpected end of file", self.peek().line)
+            body.append(self.parse_stmt())
+        return body
+
+    def parse_stmt(self) -> ast.Stmt:
+        token = self.peek()
+        if token.kind == "kw":
+            if token.value == "var":
+                return self.parse_var_decl()
+            if token.value == "if":
+                return self.parse_if()
+            if token.value == "while":
+                return self.parse_while()
+            if token.value == "for":
+                return self.parse_for()
+            if token.value == "return":
+                self.next()
+                value = None
+                if not self._at_stmt_boundary():
+                    value = self.parse_expr()
+                return ast.Return(line=token.line, value=value)
+            if token.value == "print":
+                self.next()
+                return ast.Print(line=token.line, value=self.parse_expr())
+            if token.value == "spawn":
+                self.next()
+                name = self.expect("ident").value
+                self.expect("op", "(")
+                args = self.parse_args()
+                return ast.SpawnStmt(line=token.line, proc=name, args=args)
+        # assignment or expression statement
+        expr = self.parse_expr()
+        if self.accept("op", ":="):
+            if not isinstance(expr, (ast.Name, ast.FieldAccess, ast.IndexAccess)):
+                raise CluCompileError("invalid assignment target", token.line)
+            value = self.parse_expr()
+            return ast.Assign(line=token.line, target=expr, value=value)
+        return ast.ExprStmt(line=token.line, expr=expr)
+
+    def _at_stmt_boundary(self) -> bool:
+        token = self.peek()
+        return token.kind == "eof" or (
+            token.kind == "kw"
+            and token.value in {"end", "else", "elseif", "proc", "var", "if",
+                                "while", "for", "return", "print", "spawn"}
+        )
+
+    def parse_var_decl(self) -> ast.VarDecl:
+        line = self.expect("kw", "var").line
+        name = self.expect("ident").value
+        self.expect("op", ":")
+        type_name = self.parse_type()
+        init = None
+        if self.accept("op", ":="):
+            init = self.parse_expr()
+        return ast.VarDecl(line=line, name=name, type_name=type_name, init=init)
+
+    def parse_if(self) -> ast.If:
+        line = self.expect("kw", "if").line
+        arms: list[tuple[Optional[ast.Expr], list[ast.Stmt]]] = []
+        condition = self.parse_expr()
+        self.expect("kw", "then")
+        body = self.parse_block({"elseif", "else", "end"})
+        arms.append((condition, body))
+        while self.at("kw", "elseif"):
+            self.next()
+            condition = self.parse_expr()
+            self.expect("kw", "then")
+            body = self.parse_block({"elseif", "else", "end"})
+            arms.append((condition, body))
+        if self.accept("kw", "else"):
+            body = self.parse_block({"end"})
+            arms.append((None, body))
+        self.expect("kw", "end")
+        return ast.If(line=line, arms=arms)
+
+    def parse_while(self) -> ast.While:
+        line = self.expect("kw", "while").line
+        condition = self.parse_expr()
+        self.expect("kw", "do")
+        body = self.parse_block({"end"})
+        self.expect("kw", "end")
+        return ast.While(line=line, condition=condition, body=body)
+
+    def parse_for(self) -> ast.For:
+        line = self.expect("kw", "for").line
+        var = self.expect("ident").value
+        self.expect("op", ":=")
+        start = self.parse_expr()
+        self.expect("kw", "to")
+        stop = self.parse_expr()
+        self.expect("kw", "do")
+        body = self.parse_block({"end"})
+        self.expect("kw", "end")
+        return ast.For(line=line, var=var, start=start, stop=stop, body=body)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        left = self.parse_and()
+        while self.at("kw", "or"):
+            line = self.next().line
+            right = self.parse_and()
+            left = ast.Binary(line=line, op="or", left=left, right=right)
+        return left
+
+    def parse_and(self) -> ast.Expr:
+        left = self.parse_not()
+        while self.at("kw", "and"):
+            line = self.next().line
+            right = self.parse_not()
+            left = ast.Binary(line=line, op="and", left=left, right=right)
+        return left
+
+    def parse_not(self) -> ast.Expr:
+        if self.at("kw", "not"):
+            line = self.next().line
+            return ast.Unary(line=line, op="not", operand=self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> ast.Expr:
+        left = self.parse_additive()
+        if self.peek().kind == "op" and self.peek().value in (
+            "=", "~=", "<", "<=", ">", ">=",
+        ):
+            token = self.next()
+            right = self.parse_additive()
+            return ast.Binary(line=token.line, op=token.value, left=left, right=right)
+        return left
+
+    def parse_additive(self) -> ast.Expr:
+        left = self.parse_multiplicative()
+        while self.peek().kind == "op" and self.peek().value in ("+", "-"):
+            token = self.next()
+            right = self.parse_multiplicative()
+            left = ast.Binary(line=token.line, op=token.value, left=left, right=right)
+        return left
+
+    def parse_multiplicative(self) -> ast.Expr:
+        left = self.parse_unary()
+        while self.peek().kind == "op" and self.peek().value in ("*", "/", "%"):
+            token = self.next()
+            right = self.parse_unary()
+            left = ast.Binary(line=token.line, op=token.value, left=left, right=right)
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        if self.at("op", "-"):
+            line = self.next().line
+            return ast.Unary(line=line, op="-", operand=self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.at("op", "."):
+                line = self.next().line
+                fieldname = self.expect("ident").value
+                expr = ast.FieldAccess(line=line, target=expr, fieldname=fieldname)
+            elif self.at("op", "["):
+                line = self.next().line
+                index = self.parse_expr()
+                self.expect("op", "]")
+                expr = ast.IndexAccess(line=line, target=expr, index=index)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "int":
+            self.next()
+            return ast.Literal(line=token.line, value=int(token.value))
+        if token.kind == "string":
+            self.next()
+            return ast.Literal(line=token.line, value=token.value)
+        if token.kind == "kw" and token.value in ("true", "false"):
+            self.next()
+            return ast.Literal(line=token.line, value=token.value == "true")
+        if token.kind == "kw" and token.value == "nil":
+            self.next()
+            return ast.Literal(line=token.line, value=None)
+        if token.kind == "kw" and token.value == "remote":
+            return self.parse_remote()
+        if token.kind == "op" and token.value == "(":
+            self.next()
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        if token.kind == "op" and token.value == "[":
+            self.next()
+            items = []
+            if not self.at("op", "]"):
+                while True:
+                    items.append(self.parse_expr())
+                    if not self.accept("op", ","):
+                        break
+            self.expect("op", "]")
+            return ast.ArrayLiteral(line=token.line, items=items)
+        if token.kind == "ident":
+            name = self.next().value
+            if self.at("op", "(") :
+                self.next()
+                args = self.parse_args()
+                return ast.CallExpr(line=token.line, name=name, args=args)
+            if self.at("op", "{") and name in self.record_names:
+                self.next()
+                fields: list[tuple[str, ast.Expr]] = []
+                if not self.at("op", "}"):
+                    while True:
+                        fname = self.expect("ident").value
+                        self.expect("op", ":")
+                        fields.append((fname, self.parse_expr()))
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", "}")
+                return ast.RecordLiteral(line=token.line, type_name=name, fields=fields)
+            return ast.Name(line=token.line, ident=name)
+        raise CluCompileError(
+            f"expected an expression, found {token.value or token.kind!r}", token.line
+        )
+
+    def parse_remote(self) -> ast.RemoteCall:
+        line = self.expect("kw", "remote").line
+        protocol = "once"
+        if self.accept("kw", "maybe"):
+            protocol = "maybe"
+        elif self.accept("kw", "once"):
+            protocol = "once"
+        service = self.expect("ident").value
+        self.expect("op", ".")
+        proc = self.expect("ident").value
+        self.expect("op", "(")
+        args = self.parse_args()
+        return ast.RemoteCall(line=line, service=service, proc=proc,
+                              protocol=protocol, args=args)
+
+    def parse_args(self) -> list[ast.Expr]:
+        """Parse a comma-separated argument list, consuming the ')'"""
+        args: list[ast.Expr] = []
+        if not self.at("op", ")"):
+            while True:
+                args.append(self.parse_expr())
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        return args
+
+
+def parse(source: str) -> ast.Module:
+    return Parser(source).parse_module()

@@ -1,0 +1,122 @@
+"""Cluster assembly: wire nodes, ring, RPC, programs and agents together.
+
+This is the top-level convenience layer most examples and tests use::
+
+    cluster = Cluster(names=["client", "server"])
+    image = cluster.load_program(SOURCE, "server")
+    cluster.rpc(1).export_vm("calc", image, {"add": "add_proc"})
+    cluster.spawn_vm(0, client_image, "main")
+    cluster.run()
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.agent.agent import PilgrimAgent
+from repro.cclu import compile_program
+from repro.cvm.image import NodeImage, Program
+from repro.cvm.interp import VmExecutor
+from repro.mayflower.node import Node
+from repro.params import Params
+from repro.ring.network import Ring
+from repro.rpc.registry import ServiceRegistry
+from repro.rpc.runtime import RpcRuntime
+from repro.sim.world import World
+
+
+class Cluster:
+    """A small distributed system: nodes on a ring with RPC."""
+
+    def __init__(
+        self,
+        n_nodes: int = 0,
+        names: Optional[list[str]] = None,
+        seed: int = 0,
+        params: Optional[Params] = None,
+        agents: bool = True,
+        clock_skews: Optional[list[int]] = None,
+    ):
+        if names is None:
+            names = [f"node{i}" for i in range(n_nodes)]
+        self.params = params or Params()
+        self.world = World(seed=seed)
+        self.ring = Ring(self.world, self.params)
+        self.registry = ServiceRegistry()
+        self.nodes: list[Node] = []
+        #: Master compiled programs by module (the debugger's source-to-
+        #: object mapping comes from here, paper §3).
+        self.programs: dict[str, Program] = {}
+        for i, name in enumerate(names):
+            # Per-node real-clock skew models imperfect synchronization
+            # ("assumed to be synchronized correctly", paper §5.2 — the
+            # clock_tolerance of §6.1 exists to absorb exactly this).
+            skew = clock_skews[i] if clock_skews else 0
+            node = Node(i, name, self.world, self.params, clock_skew=skew)
+            self.ring.attach(node)
+            RpcRuntime(node, self.registry)
+            if agents:
+                # Every node has the agent linked in, dormant (paper §3).
+                PilgrimAgent(node)
+            self.nodes.append(node)
+
+    # ------------------------------------------------------------------
+
+    def node(self, which: Union[int, str]) -> Node:
+        if isinstance(which, int):
+            return self.nodes[which]
+        for node in self.nodes:
+            if node.name == which:
+                return node
+        raise KeyError(f"no node named {which!r}")
+
+    def rpc(self, which: Union[int, str]) -> RpcRuntime:
+        return self.node(which).rpc
+
+    def load_program(
+        self,
+        source_or_program: Union[str, Program],
+        which: Union[int, str],
+        module: Optional[str] = None,
+    ) -> NodeImage:
+        """Compile (if needed) and link a program onto one node.
+
+        The module name defaults to the node's name, so each node's
+        program is separately addressable by the debugger.
+        """
+        if isinstance(source_or_program, str):
+            program = compile_program(
+                source_or_program, module or self.node(which).name
+            )
+        else:
+            program = source_or_program
+        self.programs[program.module] = program
+        node = self.node(which)
+        image = program.link(node)
+        image.rpc_hook = node.rpc.vm_rcall
+        if node.agent is not None:
+            node.agent.register_image(image)
+        return image
+
+    def spawn_vm(
+        self,
+        which: Union[int, str],
+        image: NodeImage,
+        func: str = "main",
+        args: Optional[list] = None,
+        name: Optional[str] = None,
+        priority: int = 0,
+    ):
+        """Start a CCLU procedure as a process on a node."""
+        node = self.node(which)
+        executor = VmExecutor(image, func, args or [])
+        return node.spawn(executor, name=name or func, priority=priority)
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        return self.world.run(until=until, max_events=max_events)
+
+    def run_for(self, duration: int) -> int:
+        return self.world.run_for(duration)
+
+    def __repr__(self) -> str:
+        return f"<Cluster {[node.name for node in self.nodes]} t={self.world.now}>"

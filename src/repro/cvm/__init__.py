@@ -1,0 +1,39 @@
+"""CVM: the stack virtual machine standing in for MC68000 object code.
+
+Provides per-node linked code images, TRAP-replacement breakpoints,
+trace-mode stepping, well-formed-frame backtraces, and print-operation
+dispatch — the object-level mechanisms Pilgrim's agent manipulates.
+"""
+
+from repro.cvm.frames import RPC_RUNTIME_FUNC, Frame
+from repro.cvm.image import NodeImage, Program
+from repro.cvm.instructions import FuncCode, Instr
+from repro.cvm.interp import BreakpointWait, VmExecutor, run_pure
+from repro.cvm.values import (
+    CluArray,
+    CluRecord,
+    CluRuntimeError,
+    RpcFailure,
+    default_print,
+    marshal_size,
+    type_name_of,
+)
+
+__all__ = [
+    "RPC_RUNTIME_FUNC",
+    "Frame",
+    "NodeImage",
+    "Program",
+    "FuncCode",
+    "Instr",
+    "BreakpointWait",
+    "VmExecutor",
+    "run_pure",
+    "CluArray",
+    "CluRecord",
+    "CluRuntimeError",
+    "RpcFailure",
+    "default_print",
+    "marshal_size",
+    "type_name_of",
+]

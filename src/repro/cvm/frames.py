@@ -1,0 +1,70 @@
+"""Procedure call stack frames.
+
+Paper §5.5 ("Interpreting the top of stack"): stacks may be momentarily in
+an unusual state during procedure entry/exit, and the debugger must locate
+the *highest well formed frame*.  The CVM models this with an
+``under_construction`` flag set while a frame is being built by CALL and
+cleared when its first instruction executes; backtraces taken in between
+report from the highest well-formed frame, exactly as Pilgrim's
+compiler-generated tables allowed.
+
+RPC runtime frames (paper §4.3, Figure 1) are *synthetic* frames carrying
+an ``info_block`` local "in a known position in the stack frame": the
+process identifier, remote procedure name, call identifier and protocol
+state of an in-progress RPC.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.cvm.instructions import FuncCode
+
+
+class Frame:
+    """One activation record."""
+
+    __slots__ = ("func", "pc", "locals", "stack", "under_construction", "synthetic")
+
+    def __init__(self, func: FuncCode, synthetic: bool = False):
+        self.func = func
+        self.pc = 0
+        self.locals: dict[str, Any] = {}
+        self.stack: list[Any] = []
+        self.under_construction = True
+        self.synthetic = synthetic
+
+    @property
+    def info_block(self) -> Optional[dict]:
+        """The RPC info block, if this is an RPC runtime frame."""
+        return self.locals.get("__rpc_info")
+
+    def current_line(self) -> int:
+        return self.func.line_for_pc(self.pc)
+
+    def snapshot(self) -> dict:
+        """Debugger-visible view of this frame."""
+        visible_locals = {
+            name: value
+            for name, value in self.locals.items()
+            if not name.startswith("__")
+        }
+        return {
+            "proc": self.func.name,
+            "module": self.func.module,
+            "pc": self.pc,
+            "line": self.current_line(),
+            "locals": visible_locals,
+            "synthetic": self.synthetic,
+            "well_formed": not self.under_construction,
+            "info_block": self.info_block,
+        }
+
+    def __repr__(self) -> str:
+        tag = " (rpc)" if self.synthetic else ""
+        return f"<Frame {self.func.name}@{self.pc} L{self.current_line()}{tag}>"
+
+
+#: Shared FuncCode used for synthetic RPC runtime frames.  It has a single
+#: NOP so pc arithmetic stays valid; it is never actually executed.
+RPC_RUNTIME_FUNC = FuncCode("__rpc_runtime", [], [], module="__runtime")

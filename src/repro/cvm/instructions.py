@@ -1,0 +1,127 @@
+"""CVM instruction set.
+
+The CVM is a stack machine standing in for MC68000 object code.  What
+matters for the reproduction is not the ISA itself but its *debuggability*
+(paper §5.5):
+
+* instructions live in per-node code arrays, so a breakpoint is set by
+  **replacing the instruction at an address with TRAP** and restoring it to
+  step over (the 68000 trap-and-trace-mode technique);
+* every instruction carries its source line, giving the compiler's
+  source-to-object mapping;
+* frames are flagged *under construction* during call/return sequences, the
+  analog of the paper's "interpreting the top of stack" problem.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+# --- opcodes ----------------------------------------------------------
+
+CONST = "CONST"        # push literal            arg=value
+LOADL = "LOADL"        # push local              arg=name
+STOREL = "STOREL"      # pop into local          arg=name
+LOADG = "LOADG"        # push module global      arg=name
+STOREG = "STOREG"      # pop into module global  arg=name
+
+ADD = "ADD"; SUB = "SUB"; MUL = "MUL"; DIV = "DIV"; MOD = "MOD"; NEG = "NEG"
+EQ = "EQ"; NE = "NE"; LT = "LT"; LE = "LE"; GT = "GT"; GE = "GE"
+NOT = "NOT"; AND = "AND"; OR = "OR"
+
+JUMP = "JUMP"          # arg=target pc
+JF = "JF"              # pop; jump if false      arg=target pc
+
+CALL = "CALL"          # arg=proc name, arg2=nargs
+CALLB = "CALLB"        # builtin                 arg=name, arg2=nargs
+RET = "RET"            # return top of stack (or nil if stack empty)
+
+NEWREC = "NEWREC"      # arg=type name, arg2=[field names]; pops field values
+GETF = "GETF"          # arg=field name
+SETF = "SETF"          # arg=field name; pops value, record
+NEWARR = "NEWARR"      # arg2=count; pops elements
+GETIDX = "GETIDX"      # pops index, array
+SETIDX = "SETIDX"      # pops value, index, array
+
+SEMWAIT = "SEMWAIT"    # pops timeout (us, -1=forever), semaphore; pushes bool
+SEMSIGNAL = "SEMSIGNAL"  # pops semaphore
+REGENTER = "REGENTER"  # pops region (or monitor: Mesa-style mutex claim)
+REGEXIT = "REGEXIT"    # pops region (or monitor)
+CONDWAIT = "CONDWAIT"  # pops cond name, monitor; releases + waits; pushes bool
+CONDSIG = "CONDSIG"    # pops cond name, monitor; arg=broadcast flag
+DUP = "DUP"            # duplicate top of stack
+SWAP = "SWAP"          # swap top two stack slots
+SLEEPI = "SLEEPI"      # pops duration us
+SPAWNP = "SPAWNP"      # arg=proc name, arg2=nargs; pushes pid
+
+RCALL = "RCALL"        # arg=(service, proc, protocol), arg2=nargs; pushes result
+PRINTI = "PRINTI"      # pops value; writes via the process output stream
+
+TRAP = "TRAP"          # breakpoint trap
+POP = "POP"            # discard top of stack
+NOP = "NOP"
+HALTP = "HALTP"        # end the process
+
+
+class Instr:
+    """One CVM instruction.  Mutable only via breakpoint patching."""
+
+    __slots__ = ("op", "arg", "arg2", "line")
+
+    def __init__(self, op: str, arg: Any = None, arg2: Any = None, line: int = 0):
+        self.op = op
+        self.arg = arg
+        self.arg2 = arg2
+        self.line = line
+
+    def copy(self) -> "Instr":
+        return Instr(self.op, self.arg, self.arg2, self.line)
+
+    def __repr__(self) -> str:
+        parts = [self.op]
+        if self.arg is not None:
+            parts.append(repr(self.arg))
+        if self.arg2 is not None:
+            parts.append(repr(self.arg2))
+        return f"({' '.join(parts)} @L{self.line})"
+
+
+class FuncCode:
+    """Compiled object code for one procedure.
+
+    ``code`` is the *master* copy produced by the compiler; each node links
+    its own image (list copy) so breakpoints patched on one node do not
+    affect others (separate linked binaries in the paper's world).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        params: list[str],
+        code: list[Instr],
+        module: str = "main",
+        source_lines: Optional[dict[int, str]] = None,
+    ):
+        self.name = name
+        self.params = params
+        self.code = code
+        self.module = module
+        #: line -> source text, for debugger listings.
+        self.source_lines = source_lines or {}
+
+    def line_for_pc(self, pc: int) -> int:
+        if 0 <= pc < len(self.code):
+            return self.code[pc].line
+        return 0
+
+    def pcs_for_line(self, line: int) -> list[int]:
+        """All instruction addresses generated from a source line (the
+        compiler's source-to-object mapping, paper §3)."""
+        return [pc for pc, instr in enumerate(self.code) if instr.line == line]
+
+    def first_pc_for_line(self, line: int) -> Optional[int]:
+        pcs = self.pcs_for_line(line)
+        return pcs[0] if pcs else None
+
+    def __repr__(self) -> str:
+        return f"<FuncCode {self.module}.{self.name}/{len(self.params)} {len(self.code)} instrs>"

@@ -1,0 +1,160 @@
+"""Runtime values for Concurrent CLU programs.
+
+Scalars (int, bool, string) map onto Python values.  Structured values are
+thin wrappers that carry their CLU type name so the debugger can find the
+right *print operation* — "CLU encourages programmers to write print
+operations for their user defined types ... These print operations are what
+the debugger uses to display the contents of variables" (paper §3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class CluRecord:
+    """A record value: named fields of a declared record type."""
+
+    def __init__(self, type_name: str, fields: dict[str, Any]):
+        self.type_name = type_name
+        self.fields = fields
+
+    def get(self, name: str) -> Any:
+        if name not in self.fields:
+            raise CluRuntimeError(f"record {self.type_name} has no field {name!r}")
+        return self.fields[name]
+
+    def set(self, name: str, value: Any) -> None:
+        if name not in self.fields:
+            raise CluRuntimeError(f"record {self.type_name} has no field {name!r}")
+        self.fields[name] = value
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, CluRecord)
+            and other.type_name == self.type_name
+            and other.fields == self.fields
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}: {v!r}" for k, v in self.fields.items())
+        return f"{self.type_name}{{{inner}}}"
+
+
+class CluArray:
+    """A growable array value."""
+
+    def __init__(self, items: Optional[list] = None):
+        self.items = items if items is not None else []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def get(self, index: int) -> Any:
+        self._check(index)
+        return self.items[index]
+
+    def set(self, index: int, value: Any) -> None:
+        self._check(index)
+        self.items[index] = value
+
+    def append(self, value: Any) -> None:
+        self.items.append(value)
+
+    def _check(self, index: int) -> None:
+        if not isinstance(index, int) or not (0 <= index < len(self.items)):
+            raise CluRuntimeError(
+                f"array index {index!r} out of bounds (size {len(self.items)})"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CluArray) and other.items == self.items
+
+    def __repr__(self) -> str:
+        return f"array{self.items!r}"
+
+
+class RpcFailure:
+    """The value produced by a failed remote call.
+
+    Concurrent CLU surfaces RPC failures to the caller; programs test with
+    the ``failed()`` builtin and may retry (paper §2: the *maybe* protocol
+    "allows the programmer to handle both transient errors and failures
+    with retry strategies appropriate to the application").
+    """
+
+    def __init__(self, reason: str, call_id: Optional[int] = None):
+        self.reason = reason
+        self.call_id = call_id
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RpcFailure) and other.reason == self.reason
+
+    def __repr__(self) -> str:
+        return f"RpcFailure({self.reason!r}, call_id={self.call_id})"
+
+
+class CluRuntimeError(Exception):
+    """An execution error in the user program (bad index, type error...).
+
+    The agent treats these like hardware exceptions: the failing process
+    stops and the debugger is notified (paper §5.2: the halt primitive is
+    used "not only when a breakpoint is hit but upon hardware exceptions
+    and user program failures as well").
+    """
+
+
+def type_name_of(value: Any) -> str:
+    """The CLU type name of a runtime value (for print-op dispatch)."""
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, str):
+        return "string"
+    if value is None:
+        return "null"
+    if isinstance(value, CluRecord):
+        return value.type_name
+    if isinstance(value, CluArray):
+        return "array"
+    if isinstance(value, RpcFailure):
+        return "rpc_failure"
+    return type(value).__name__
+
+
+def default_print(value: Any) -> str:
+    """Built-in print operation used when a type declares none."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return value
+    if value is None:
+        return "nil"
+    if isinstance(value, CluArray):
+        return "[" + ", ".join(default_print(v) for v in value.items) + "]"
+    if isinstance(value, CluRecord):
+        inner = ", ".join(f"{k}: {default_print(v)}" for k, v in value.fields.items())
+        return f"{value.type_name}{{{inner}}}"
+    if isinstance(value, RpcFailure):
+        return f"<rpc failure: {value.reason}>"
+    return str(value)
+
+
+def marshal_size(value: Any) -> int:
+    """Approximate wire size in bytes of a value (for ring latency)."""
+    if value is None or isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 4
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, CluArray):
+        return 4 + sum(marshal_size(v) for v in value.items)
+    if isinstance(value, CluRecord):
+        return 4 + sum(marshal_size(v) for v in value.fields.values())
+    if isinstance(value, (list, tuple)):
+        return 4 + sum(marshal_size(v) for v in value)
+    if isinstance(value, dict):
+        return 4 + sum(marshal_size(k) + marshal_size(v) for k, v in value.items())
+    return 16

@@ -1,0 +1,22 @@
+"""Pilgrim, the debugger proper: sessions, source mapping, breakpoints,
+cross-node backtraces, typed display, and the breakpoint log behind
+convert_debuggee_time.
+"""
+
+from repro.debugger.pilgrim import (
+    PILGRIM_TIME_SERVICE,
+    AgentError,
+    Breakpoint,
+    DebuggerError,
+    Pilgrim,
+)
+from repro.debugger.timelog import BreakpointLog
+
+__all__ = [
+    "PILGRIM_TIME_SERVICE",
+    "AgentError",
+    "Breakpoint",
+    "DebuggerError",
+    "Pilgrim",
+    "BreakpointLog",
+]

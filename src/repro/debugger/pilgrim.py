@@ -1,0 +1,498 @@
+"""Pilgrim, the debugger proper (paper §3).
+
+The debugger runs on its own node of the cluster and talks to the agents
+over the ring — every logical request is one network round trip.  The
+user interface, type knowledge, and the source-to-object mapping all live
+here, not in the agents ("all activities involving the user interface,
+type-checking, and access to the source-to-object mapping information
+produced by the compiler and linker are performed in the debugger
+proper").
+
+The Python API is synchronous: each call transmits the request and drives
+the simulation until the response (or an agent event) arrives, which is
+exactly how an interactive debugging session consumes time in the target
+environment.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Optional, Union
+
+from repro.agent import requests as rq
+from repro.cvm.image import Program
+from repro.cvm.values import CluRecord
+from repro.debugger.timelog import BreakpointLog
+from repro.rpc.marshal import MarshalError, marshal, unmarshal
+from repro.sim.units import MS, SEC
+
+if TYPE_CHECKING:
+    from repro.cluster import Cluster
+
+#: RPC service exported by the debugger for shared servers (paper §6.1).
+PILGRIM_TIME_SERVICE = "_pilgrim"
+
+_session_counter = itertools.count(1)
+
+
+class DebuggerError(Exception):
+    """A debugger-side failure (timeout, protocol error)."""
+
+
+class AgentError(DebuggerError):
+    """The agent rejected a request."""
+
+
+class Breakpoint:
+    """A source-level breakpoint the debugger planted."""
+
+    def __init__(self, node: int, module: str, func: str, pc: int, line: int):
+        self.node = node
+        self.module = module
+        self.func = func
+        self.pc = pc
+        self.line = line
+
+    def key(self) -> tuple:
+        return (self.node, self.module, self.func, self.pc)
+
+    def __repr__(self) -> str:
+        return f"<Breakpoint node={self.node} {self.module}.{self.func}@{self.pc} line {self.line}>"
+
+
+def _decode(value: Any) -> Any:
+    """Unmarshal a sanitized agent value; opaque values become strings."""
+    if isinstance(value, tuple) and len(value) == 2 and value[0] == "opaque":
+        return value[1]
+    try:
+        return unmarshal(value)
+    except MarshalError:
+        return value
+
+
+class Pilgrim:
+    """A debugging session driver."""
+
+    def __init__(self, cluster: "Cluster", home: Union[int, str] = "debugger"):
+        self.cluster = cluster
+        self.world = cluster.world
+        self.home = cluster.node(home)
+        self.session_id = 0
+        self.connected_nodes: list[int] = []
+        self.breakpoints: dict[tuple, Breakpoint] = {}
+        self.events: list[dict] = []
+        self.log = BreakpointLog()
+        self._responses: dict[int, dict] = {}
+        self._seq = itertools.count(1)
+        #: True while an API call is driving the simulation; arrival of a
+        #: response/event then stops the run immediately so virtual time
+        #: does not overshoot.
+        self._awaiting = False
+        self.home.station.register_port(rq.DEBUGGER_PORT, self._on_packet)
+        # convert_debuggee_time, callable by servers over RPC (paper §6.1).
+        self.home.rpc.export_native(
+            PILGRIM_TIME_SERVICE,
+            {"convert_debuggee_time": self._rpc_convert_time},
+            register=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _on_packet(self, packet) -> None:
+        payload = packet.payload
+        if payload.get("kind") == "response":
+            self._responses[payload["seq"]] = payload
+        elif payload.get("kind") == "event":
+            self.events.append(payload)
+            if payload["event"] in (rq.EVENT_BREAKPOINT, rq.EVENT_FAILURE):
+                self.log.begin(self.world.now)
+        if self._awaiting:
+            self.world.stop()
+
+    def _request(
+        self,
+        node: Union[int, str],
+        op: str,
+        args: Optional[dict] = None,
+        timeout: int = 5 * SEC,
+    ) -> Any:
+        address = self.cluster.node(node).node_id
+        seq = next(self._seq)
+        self.home.station.send(
+            address,
+            rq.AGENT_PORT,
+            {
+                "kind": "request",
+                "session": self.session_id,
+                "seq": seq,
+                "op": op,
+                "args": args or {},
+                "reply_to": self.home.node_id,
+            },
+            kind="agent_request",
+        )
+        return self._await_response(seq, timeout)
+
+    def _await_response(self, seq: int, timeout: int) -> Any:
+        deadline = self.world.now + timeout
+        self._awaiting = True
+        try:
+            while seq not in self._responses:
+                if self.world.now >= deadline:
+                    raise DebuggerError(f"agent request {seq} timed out")
+                if self.world.run(until=deadline) == 0:
+                    if seq not in self._responses:
+                        raise DebuggerError(
+                            f"agent request {seq}: simulation went idle with no reply"
+                        )
+        finally:
+            self._awaiting = False
+        response = self._responses.pop(seq)
+        if not response.get("ok"):
+            raise AgentError(response.get("error", "agent request failed"))
+        return response.get("data")
+
+    # ------------------------------------------------------------------
+    # Session management (paper §3)
+    # ------------------------------------------------------------------
+
+    def connect(self, *nodes: Union[int, str], force: bool = False) -> dict:
+        """Open a session with the agents on ``nodes``.
+
+        The session identifier is unique but guessable (a counter), as in
+        the paper.  ``force`` performs a forcible connect, abandoning any
+        existing session on the agents.
+        """
+        if not nodes:
+            raise DebuggerError("connect() needs at least one node")
+        self.session_id = next(_session_counter)
+        infos = {}
+        addresses = [self.cluster.node(n).node_id for n in nodes]
+        for node in nodes:
+            infos[self.cluster.node(node).node_id] = self._request(
+                node,
+                rq.CONNECT,
+                {
+                    "session": self.session_id,
+                    "debugger": self.home.node_id,
+                    "force": force,
+                },
+            )
+        self.connected_nodes = addresses
+        for address in addresses:
+            self._request(address, rq.SET_PEERS, {"nodes": addresses})
+        return infos
+
+    def disconnect(self) -> None:
+        for address in list(self.connected_nodes):
+            try:
+                self._request(address, rq.DISCONNECT)
+            except DebuggerError:
+                pass
+        self.connected_nodes = []
+        self.breakpoints.clear()
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+
+    def pop_event(self) -> Optional[dict]:
+        if self.events:
+            return self.events.pop(0)
+        return None
+
+    def wait_for_event(
+        self, event: Optional[str] = None, timeout: int = 10 * SEC
+    ) -> dict:
+        """Drive the simulation until an agent event arrives."""
+        deadline = self.world.now + timeout
+        self._awaiting = True
+        try:
+            while True:
+                for i, pending in enumerate(self.events):
+                    if event is None or pending["event"] == event:
+                        return self.events.pop(i)
+                if self.world.now >= deadline:
+                    raise DebuggerError(
+                        f"no {event or 'agent'} event before deadline"
+                    )
+                if self.world.run(until=deadline) == 0:
+                    raise DebuggerError(
+                        f"simulation idle: no {event or 'agent'} event will arrive"
+                    )
+        finally:
+            self._awaiting = False
+
+    def run_for(self, duration: int) -> None:
+        """Let the target program execute for a while."""
+        self.world.run_for(duration)
+
+    # ------------------------------------------------------------------
+    # Source-level breakpoints (paper §5.5 mechanics, §3 source mapping)
+    # ------------------------------------------------------------------
+
+    def _program(self, module: str) -> Program:
+        program = self.cluster.programs.get(module)
+        if program is None:
+            raise DebuggerError(f"no compiled program for module {module!r}")
+        return program
+
+    def resolve_line(self, module: str, line: int) -> tuple[str, int]:
+        """Source line -> (procedure, pc), via the compiler's line tables."""
+        program = self._program(module)
+        for func in program.functions.values():
+            pc = func.first_pc_for_line(line)
+            if pc is not None:
+                return func.name, pc
+        raise DebuggerError(f"no code generated for {module}:{line}")
+
+    def break_at(
+        self,
+        node: Union[int, str],
+        module: str,
+        line: Optional[int] = None,
+        func: Optional[str] = None,
+        pc: Optional[int] = None,
+    ) -> Breakpoint:
+        """Set a breakpoint by source line, or by procedure entry, or at an
+        explicit (func, pc) address."""
+        if line is not None:
+            func, pc = self.resolve_line(module, line)
+        elif func is not None and pc is None:
+            pc = 0
+        if func is None or pc is None:
+            raise DebuggerError("break_at needs a line, a func, or func+pc")
+        data = self._request(
+            node, rq.SET_BREAKPOINT, {"module": module, "func": func, "pc": pc}
+        )
+        program = self._program(module)
+        bp_line = line if line is not None else program.functions[func].line_for_pc(pc)
+        bp = Breakpoint(self.cluster.node(node).node_id, module, func, pc, bp_line)
+        self.breakpoints[bp.key()] = bp
+        return bp
+
+    def clear(self, bp: Breakpoint) -> None:
+        self._request(
+            bp.node,
+            rq.CLEAR_BREAKPOINT,
+            {"module": bp.module, "func": bp.func, "pc": bp.pc},
+        )
+        self.breakpoints.pop(bp.key(), None)
+
+    def wait_for_breakpoint(self, timeout: int = 10 * SEC) -> dict:
+        event = self.wait_for_event(rq.EVENT_BREAKPOINT, timeout)
+        return {"node": event["node"], **event["data"]}
+
+    def wait_for_failure(self, timeout: int = 10 * SEC) -> dict:
+        event = self.wait_for_event(rq.EVENT_FAILURE, timeout)
+        return {"node": event["node"], **event["data"]}
+
+    def step(self, node: Union[int, str], pid: int) -> dict:
+        """Step a trapped process one instruction (trace mode)."""
+        return self._request(node, rq.STEP, {"pid": pid})
+
+    def resume(self, node: Union[int, str]) -> dict:
+        """Continue from a breakpoint: the given node's agent steps its
+        trapped processes over their traps and resumes the program,
+        broadcasting resume to its peers."""
+        data = self._request(node, rq.CONTINUE, {})
+        self.log.end(self.world.now)
+        return data
+
+    def halt(self, node: Union[int, str]) -> dict:
+        """Halt the whole program, starting at ``node``."""
+        data = self._request(node, rq.HALT, {})
+        self.log.begin(self.world.now)
+        return data
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def processes(self, node: Union[int, str]) -> list[dict]:
+        return self._request(node, rq.LIST_PROCESSES)
+
+    def process_state(self, node: Union[int, str], pid: int) -> dict:
+        return self._request(node, rq.PROCESS_STATE, {"pid": pid})
+
+    def backtrace(self, node: Union[int, str], pid: int) -> list[dict]:
+        frames = self._request(node, rq.BACKTRACE, {"pid": pid})
+        for frame in frames:
+            frame["locals"] = {
+                name: _decode(value) for name, value in frame["locals"].items()
+            }
+        return frames
+
+    def distributed_backtrace(
+        self, node: Union[int, str], pid: int, max_hops: int = 8
+    ) -> list[dict]:
+        """A stack backtrace that crosses node boundaries (paper §4.1).
+
+        Client frames end at the RPC runtime frame whose info block names
+        the in-progress call; the registry locates the server, whose agent
+        reports the worker process handling that call id, and the walk
+        continues there.
+        """
+        result: list[dict] = []
+        current_node = self.cluster.node(node).node_id
+        current_pid = pid
+        visited = set()
+        in_progress_states = (
+            "marshalling", "call_sent", "retransmitting", "reply_received",
+        )
+        for _hop in range(max_hops):
+            if (current_node, current_pid) in visited:
+                break
+            visited.add((current_node, current_pid))
+            frames = self.backtrace(current_node, current_pid)
+            for frame in frames:
+                frame["node"] = current_node
+                frame["pid"] = current_pid
+            result.extend(frames)
+            # An in-progress *outgoing* call appears as the top synthetic
+            # frame (paper Figure 1); follow it to the server.  The
+            # server-side bottom frame (state 'serving') links backwards,
+            # not forwards, and is not followed.
+            info = None
+            for frame in frames:
+                if frame.get("synthetic") and frame.get("info_block"):
+                    block = frame["info_block"]
+                    if block.get("state") in in_progress_states:
+                        info = block
+                        break
+            if info is None:
+                break
+            service = str(info["remote_proc"]).split(".")[0]
+            server_addr = self.cluster.registry.lookup(service)
+            if server_addr is None or server_addr not in self.connected_nodes:
+                break
+            record = self._request(
+                server_addr, rq.RPC_SERVER_RECORD, {"call_id": info["call_id"]}
+            )
+            if record is None or record.get("worker_pid") is None:
+                break
+            current_node = server_addr
+            current_pid = record["worker_pid"]
+        return result
+
+    def read_var(self, node, pid: int, name: str, frame: int = 0) -> Any:
+        return _decode(
+            self._request(
+                node, rq.READ_VAR, {"pid": pid, "frame": frame, "name": name}
+            )
+        )
+
+    def write_var(self, node, pid: int, name: str, value: Any, frame: int = 0) -> None:
+        self._request(
+            node,
+            rq.WRITE_VAR,
+            {"pid": pid, "frame": frame, "name": name, "value": marshal(value)},
+        )
+
+    def read_global(self, node, module: str, name: str) -> Any:
+        return _decode(
+            self._request(node, rq.READ_GLOBAL, {"module": module, "name": name})
+        )
+
+    def write_global(self, node, module: str, name: str, value: Any) -> None:
+        self._request(
+            node,
+            rq.WRITE_GLOBAL,
+            {"module": module, "name": name, "value": marshal(value)},
+        )
+
+    def display(self, node, pid: int, name: str, frame: int = 0) -> str:
+        """Render a variable with its type's print operation, which runs in
+        the user program with output redirected to the debugger (paper §3)."""
+        data = self._request(
+            node, rq.DISPLAY, {"pid": pid, "frame": frame, "name": name}
+        )
+        return data["text"]
+
+    def invoke(self, node, module: str, func: str, args: Optional[list] = None):
+        """Invoke a procedure in the user program; returns (result, output)."""
+        data = self._request(
+            node,
+            rq.INVOKE,
+            {"module": module, "func": func,
+             "args": [marshal(a) for a in (args or [])]},
+        )
+        return _decode(data["result"]), data["output"]
+
+    def wake_process(self, node, pid: int, value: Any = False) -> bool:
+        """Transfer a process out of its wait state (paper §5.4)."""
+        data = self._request(node, rq.WAKE_PROCESS, {"pid": pid, "value": value})
+        return data["woken"]
+
+    # ------------------------------------------------------------------
+    # RPC debugging (paper §4)
+    # ------------------------------------------------------------------
+
+    def rpc_info(self, node) -> dict:
+        return self._request(node, rq.RPC_INFO)
+
+    def rpc_server_record(self, node, call_id: int) -> Optional[dict]:
+        return self._request(node, rq.RPC_SERVER_RECORD, {"call_id": call_id})
+
+    def diagnose_maybe_failure(self, client_node, call_id: int) -> str:
+        """Why did a maybe call fail — call packet lost, or reply lost?
+
+        (Paper §4.1: "The failure of a call performed with the maybe RPC
+        protocol could be due to either the call or reply packet being
+        lost.  The debugger ought to allow the programmer to find out
+        which is the case.")
+        """
+        info = self.rpc_info(client_node)
+        entry = None
+        for record in info["in_progress"]:
+            if record["call_id"] == call_id:
+                return "call still in progress"
+        history = self._request(client_node, rq.RPC_INFO)
+        service = None
+        # Search the recent-call buffer for the outcome.
+        outcome = None
+        for cid, ok in history["recent"]:
+            if cid == call_id:
+                outcome = ok
+        if outcome is True:
+            return "call succeeded"
+        # Locate the server via the client-side call history.
+        client_history = self._request(
+            client_node, "rpc_client_history", {}
+        )
+        for record in client_history:
+            if record["call_id"] == call_id:
+                service = record["service"]
+                break
+        if service is None:
+            return "call unknown at the client"
+        server_addr = self.cluster.registry.lookup(service)
+        if server_addr is None:
+            return f"service {service!r} is not registered (bad binding)"
+        record = self.rpc_server_record(server_addr, call_id)
+        if record is None:
+            return "call packet lost (the server never received the call)"
+        if record["completed"]:
+            return "reply packet lost (the server executed the call and replied)"
+        return "server still executing the call"
+
+    # ------------------------------------------------------------------
+    # Time conversion for shared servers (paper §6.1)
+    # ------------------------------------------------------------------
+
+    def convert_debuggee_time(self, date: int) -> int:
+        return self.log.convert(date, self.world.now)
+
+    def _rpc_convert_time(self, ctx, date: int) -> int:
+        return self.log.convert(date, self.world.now)
+
+    def total_interruption(self) -> int:
+        return self.log.total_interruption(self.world.now)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Pilgrim session={self.session_id} nodes={self.connected_nodes} "
+            f"breakpoints={len(self.breakpoints)}>"
+        )

@@ -1,0 +1,261 @@
+"""An interactive command layer over :class:`~repro.debugger.pilgrim.Pilgrim`.
+
+This is the "user interface" half that the paper assigns to the debugger
+proper.  Commands mirror a classic source-level debugger, extended with
+Pilgrim's distributed operations::
+
+    connect app server        attach to nodes (force with 'connect! ...')
+    disconnect                end the session
+    ps app                    list processes on a node
+    break app app 17          set a breakpoint (node module line)
+    clear 1                   clear breakpoint #1
+    run 100ms                 let the program run for a while
+    wait                      wait for the next breakpoint/failure event
+    bt app 3                  backtrace of pid 3 on node app
+    dbt app 3                 distributed backtrace (follows RPCs)
+    print app 3 x             show a variable via its print operation
+    set app 3 x 42            write a variable (ints/strings)
+    step app 3                single-step a trapped process
+    continue app              resume from the breakpoint
+    halt app                  halt the whole program
+    rpc app                   show RPC call tables / recent outcomes
+    time                      logical/real clocks and interruption total
+    help                      this text
+
+The REPL is synchronous over virtual time: every command drives the
+simulation just far enough to complete.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Callable, Optional
+
+from repro.debugger.pilgrim import AgentError, Breakpoint, DebuggerError, Pilgrim
+from repro.sim.units import MS, SEC
+
+
+def parse_duration(text: str) -> int:
+    """'100ms' / '2s' / '500us' -> microseconds."""
+    text = text.strip().lower()
+    if text.endswith("ms"):
+        return int(float(text[:-2]) * MS)
+    if text.endswith("us"):
+        return int(float(text[:-2]))
+    if text.endswith("s"):
+        return int(float(text[:-1]) * SEC)
+    return int(text)
+
+
+def parse_value(text: str):
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        return text.strip('"')
+
+
+class PilgrimRepl:
+    """Command dispatcher; ``output`` collects printed lines."""
+
+    def __init__(self, pilgrim: Pilgrim, output: Optional[Callable[[str], None]] = None):
+        self.dbg = pilgrim
+        self.lines: list[str] = []
+        self._output = output
+        self.breakpoints: dict[int, Breakpoint] = {}
+        self._bp_counter = 0
+        self.done = False
+
+    def emit(self, text: str = "") -> None:
+        for line in text.split("\n"):
+            self.lines.append(line)
+            if self._output is not None:
+                self._output(line)
+
+    # ------------------------------------------------------------------
+
+    def execute(self, command_line: str) -> None:
+        """Run one command; errors are reported, never raised."""
+        words = shlex.split(command_line.strip())
+        if not words:
+            return
+        command, args = words[0], words[1:]
+        handler = getattr(self, f"cmd_{command.rstrip('!')}", None)
+        if handler is None:
+            self.emit(f"?unknown command {command!r} (try 'help')")
+            return
+        try:
+            handler(args, force=command.endswith("!"))
+        except (AgentError, DebuggerError) as exc:
+            self.emit(f"!{exc}")
+        except (KeyError, IndexError, ValueError) as exc:
+            self.emit(f"?bad arguments: {exc}")
+
+    def run_script(self, commands: list[str]) -> list[str]:
+        for command in commands:
+            self.emit(f"(pilgrim) {command}")
+            self.execute(command)
+            if self.done:
+                break
+        return self.lines
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+
+    def cmd_help(self, args, force=False):
+        self.emit(__doc__.split("::", 1)[1].split('"""')[0].rstrip())
+
+    def cmd_connect(self, args, force=False):
+        infos = self.dbg.connect(*args, force=force)
+        for address, info in infos.items():
+            failures = info.get("failures") or []
+            suffix = f"  ({len(failures)} recorded failures)" if failures else ""
+            self.emit(
+                f"connected to node {address} ({info['name']}), "
+                f"modules: {', '.join(info['modules'])}{suffix}"
+            )
+        self.emit(f"session {self.dbg.session_id}")
+
+    def cmd_disconnect(self, args, force=False):
+        self.dbg.disconnect()
+        self.emit("disconnected; program continues")
+
+    def cmd_ps(self, args, force=False):
+        for info in self.dbg.processes(args[0]):
+            waiting = f"  waiting on {info['waiting_on']}" if info["waiting_on"] else ""
+            exempt = "  [halt-exempt]" if info["halt_exempt"] else ""
+            self.emit(
+                f"  pid {info['pid']:<4} {info['name']:<20} "
+                f"{info['state']:<8}{waiting}{exempt}"
+            )
+
+    def cmd_break(self, args, force=False):
+        node, module, line = args[0], args[1], int(args[2])
+        bp = self.dbg.break_at(node, module, line=line)
+        self._bp_counter += 1
+        self.breakpoints[self._bp_counter] = bp
+        self.emit(
+            f"breakpoint #{self._bp_counter} at {module}.{bp.func} "
+            f"line {bp.line} (pc {bp.pc}) on node {node}"
+        )
+
+    def cmd_clear(self, args, force=False):
+        number = int(args[0])
+        bp = self.breakpoints.pop(number)
+        self.dbg.clear(bp)
+        self.emit(f"cleared breakpoint #{number}")
+
+    def cmd_run(self, args, force=False):
+        duration = parse_duration(args[0]) if args else 100 * MS
+        self.dbg.run_for(duration)
+        self.emit(f"ran for {args[0] if args else '100ms'}")
+
+    def cmd_wait(self, args, force=False):
+        timeout = parse_duration(args[0]) if args else 30 * SEC
+        event = self.dbg.wait_for_event(timeout=timeout)
+        data = event["data"]
+        if event["event"] == "breakpoint":
+            self.emit(
+                f"* breakpoint: node {event['node']} pid {data['pid']} at "
+                f"{data['module']}.{data['proc']} line {data['line']}"
+            )
+        elif event["event"] == "failure":
+            self.emit(
+                f"* failure: node {event['node']} pid {data['pid']} "
+                f"({data['name']}): {data['error']}"
+            )
+        else:
+            self.emit(f"* event: {event['event']} {data}")
+
+    def cmd_bt(self, args, force=False):
+        node, pid = args[0], int(args[1])
+        self._print_frames(self.dbg.backtrace(node, pid))
+
+    def cmd_dbt(self, args, force=False):
+        node, pid = args[0], int(args[1])
+        frames = self.dbg.distributed_backtrace(node, pid)
+        self._print_frames(frames, show_node=True)
+
+    def _print_frames(self, frames, show_node=False):
+        for i, frame in enumerate(frames):
+            where = f"[node {frame['node']}] " if show_node else ""
+            info = frame.get("info_block")
+            if frame.get("synthetic") and info:
+                self.emit(
+                    f"  #{i} {where}<rpc runtime> call #{info.get('call_id')} "
+                    f"{info.get('remote_proc')} [{info.get('state', 'serving')}]"
+                )
+                continue
+            local_names = ", ".join(sorted(frame["locals"])) or "-"
+            self.emit(
+                f"  #{i} {where}{frame['module']}.{frame['proc']} "
+                f"line {frame['line']}  locals: {local_names}"
+            )
+
+    def cmd_print(self, args, force=False):
+        node, pid, name = args[0], int(args[1]), args[2]
+        frame = int(args[3]) if len(args) > 3 else 0
+        text = self.dbg.display(node, pid, name, frame=frame)
+        self.emit(f"  {name} = {text}")
+
+    def cmd_set(self, args, force=False):
+        node, pid, name, value = args[0], int(args[1]), args[2], parse_value(args[3])
+        self.dbg.write_var(node, pid, name, value)
+        self.emit(f"  {name} := {value}")
+
+    def cmd_step(self, args, force=False):
+        node, pid = args[0], int(args[1])
+        state = self.dbg.step(node, pid)
+        regs = state["registers"]
+        self.emit(
+            f"  stepped: {regs.get('proc')} line {regs.get('line')} "
+            f"pc {regs.get('pc')}"
+        )
+
+    def cmd_continue(self, args, force=False):
+        self.dbg.resume(args[0])
+        self.emit("continuing")
+
+    def cmd_halt(self, args, force=False):
+        self.dbg.halt(args[0])
+        self.emit("program halted")
+
+    def cmd_rpc(self, args, force=False):
+        info = self.dbg.rpc_info(args[0])
+        self.emit(f"  in progress ({len(info['in_progress'])}):")
+        for call in info["in_progress"]:
+            self.emit(
+                f"    call #{call['call_id']} {call['service']}.{call['proc']} "
+                f"[{call['protocol']}] state={call['state']} "
+                f"retries={call['retries']} by pid {call['client_pid']}"
+            )
+        self.emit(f"  serving ({len(info['serving'])}):")
+        for call in info["serving"]:
+            self.emit(
+                f"    call #{call['call_id']} {call['service']}.{call['proc']} "
+                f"from node {call['client_node']} worker pid {call['worker_pid']}"
+            )
+        recent = ", ".join(
+            f"#{cid}:{'ok' if ok else 'FAILED'}" for cid, ok in info["recent"]
+        )
+        self.emit(f"  recent outcomes: {recent or '-'}")
+
+    def cmd_time(self, args, force=False):
+        for address in self.dbg.connected_nodes:
+            node = self.dbg.cluster.node(address)
+            self.emit(
+                f"  node {address} ({node.name}): real {node.clock.real_now()}us, "
+                f"logical {node.clock.logical_now()}us, "
+                f"delta {node.clock.current_delta()}us"
+            )
+        self.emit(
+            f"  debugger interruption log total: {self.dbg.total_interruption()}us"
+        )
+
+    def cmd_quit(self, args, force=False):
+        self.done = True
+        self.emit("bye")

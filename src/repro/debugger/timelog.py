@@ -1,0 +1,52 @@
+"""The debugger's breakpoint log and time conversion (paper §6.1).
+
+"The debugger maintains a log of the breakpoints which have occurred and
+for each how long the program's execution was interrupted.  The sum of
+these values will be almost the same as the logical time deltas at all
+nodes of the program.  This breakpoint log is used to implement ...
+convert_debuggee_time = proc (date) returns (date)."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class BreakpointLog:
+    """Interruption intervals in real time, as observed by the debugger."""
+
+    def __init__(self):
+        #: list of [start_real, end_real-or-None]
+        self.entries: list[list] = []
+
+    def begin(self, real_time: int) -> None:
+        if self.entries and self.entries[-1][1] is None:
+            return  # already inside an interruption
+        self.entries.append([real_time, None])
+
+    def end(self, real_time: int) -> None:
+        if self.entries and self.entries[-1][1] is None:
+            self.entries[-1][1] = real_time
+
+    def halted_time_before(self, real_time: int, now: Optional[int] = None) -> int:
+        """Total interruption time accumulated before real ``real_time``."""
+        total = 0
+        for start, end in self.entries:
+            effective_end = end
+            if effective_end is None:
+                effective_end = now if now is not None else real_time
+            if start >= real_time:
+                continue
+            total += max(0, min(effective_end, real_time) - start)
+        return total
+
+    def total_interruption(self, now: int) -> int:
+        return self.halted_time_before(now, now=now)
+
+    def convert(self, date: int, now: int) -> int:
+        """convert_debuggee_time: a past real date -> the client's logical
+        date at that moment."""
+        return date - self.halted_time_before(date, now=now)
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,22 @@
+"""Pilgrim for live Python programs.
+
+The simulation packages reproduce the paper's *environment*; this package
+reproduces its *method* against real code: a dormant in-process agent that
+traces Python threads with ``sys.settrace``, talks to an out-of-process
+debugger over TCP, and implements the paper's core moves —
+
+* attach/detach without restarting the program (target-environment
+  debugging, §1),
+* source-line breakpoints that halt **all** threads, with timeouts
+  "frozen" by virtue of every thread being stopped (§5.2),
+* single-stepping the trapped thread while the others stay halted (§5.5),
+* a logical clock maintained as a delta from real time, and a
+  ``get_debuggee_status`` for cooperating servers (§6.1).
+
+This is the ``sys.settrace`` analog promised in DESIGN.md §8.
+"""
+
+from repro.live.agent import LiveAgent
+from repro.live.debugger import LiveDebugger, LiveDebuggerError
+
+__all__ = ["LiveAgent", "LiveDebugger", "LiveDebuggerError"]

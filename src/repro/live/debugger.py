@@ -1,0 +1,109 @@
+"""The live debugger: the out-of-process half of :mod:`repro.live`.
+
+Talks to a :class:`~repro.live.agent.LiveAgent` over TCP (newline-framed
+JSON), giving the paper's debugger API against real Python threads.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+import time
+from typing import Any, Optional
+
+_sessions = itertools.count(1)
+
+
+class LiveDebuggerError(Exception):
+    pass
+
+
+class LiveDebugger:
+    """A synchronous client for a live agent."""
+
+    def __init__(self, address: tuple[str, int], timeout: float = 10.0):
+        self.address = tuple(address)
+        self.session_id: Optional[int] = None
+        self._sock = socket.create_connection(self.address, timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # ------------------------------------------------------------------
+
+    def _request(self, op: str, args: Optional[dict] = None) -> Any:
+        payload = {"op": op, "args": args or {}, "session": self.session_id}
+        self._file.write((json.dumps(payload) + "\n").encode("utf-8"))
+        self._file.flush()
+        raw = self._file.readline()
+        if not raw:
+            raise LiveDebuggerError("agent closed the connection")
+        response = json.loads(raw.decode("utf-8"))
+        if not response.get("ok"):
+            raise LiveDebuggerError(response.get("error", "request failed"))
+        return response.get("data")
+
+    # ------------------------------------------------------------------
+
+    def connect(self, force: bool = False) -> list[dict]:
+        session = next(_sessions)
+        data = self._request(
+            "connect",
+            {"session": session, "force": force,
+             "debugger": f"{self.address[0]}:{self.address[1]}"},
+        )
+        self.session_id = session
+        return data["threads"]
+
+    def disconnect(self) -> None:
+        if self.session_id is not None:
+            self._request("disconnect")
+            self.session_id = None
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+            self._sock.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+
+    def threads(self) -> list[dict]:
+        return self._request("list_threads")
+
+    def set_breakpoint(self, file_suffix: str, line: int) -> None:
+        self._request("set_breakpoint", {"file": file_suffix, "line": line})
+
+    def clear_breakpoint(self, file_suffix: str, line: int) -> None:
+        self._request("clear_breakpoint", {"file": file_suffix, "line": line})
+
+    def wait_for_breakpoint(self, timeout: float = 10.0) -> dict:
+        """Poll the agent until a breakpoint event arrives."""
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            for event in self._request("poll_events"):
+                if event.get("event") == "breakpoint":
+                    return event
+            time.sleep(0.02)
+        raise LiveDebuggerError("no breakpoint before the deadline")
+
+    def halt(self) -> None:
+        self._request("halt")
+
+    def resume(self) -> None:
+        self._request("continue")
+
+    def step(self) -> dict:
+        return self._request("step")
+
+    def backtrace(self, thread: int) -> list[dict]:
+        return self._request("backtrace", {"thread": thread})
+
+    def read_var(self, thread: int, name: str, frame: int = 0) -> Any:
+        return self._request(
+            "read_var", {"thread": thread, "name": name, "frame": frame}
+        )
+
+    def status(self) -> dict:
+        """The live get_debuggee_status (§6.1) plus halt state."""
+        return self._request("status")

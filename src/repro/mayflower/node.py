@@ -1,0 +1,82 @@
+"""A node: one simulated MC68000 machine running the Mayflower supervisor.
+
+A node owns a supervisor (scheduler + process table) and a clock.  The
+cluster builder (:mod:`repro.cluster`) attaches the network station, the RPC
+runtime, and the Pilgrim agent after construction, keeping this module free
+of upward dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.mayflower.clock import NodeClock
+from repro.mayflower.scheduler import Supervisor
+from repro.mayflower.sync import CriticalRegion, MessageQueue, Monitor, Semaphore
+from repro.params import Params
+
+if TYPE_CHECKING:
+    from repro.sim.world import World
+
+
+class Node:
+    """One machine of the distributed program."""
+
+    def __init__(
+        self,
+        node_id: int,
+        name: str,
+        world: "World",
+        params: Optional[Params] = None,
+        clock_skew: int = 0,
+    ):
+        self.node_id = node_id
+        self.name = name
+        self.world = world
+        self.params = params or Params()
+        self.supervisor = Supervisor(self, world, self.params)
+        # The clock follows the node's local CPU cursor, so a process that
+        # reads the time mid-slice sees its own progress.
+        self.clock = NodeClock(self.supervisor.current_time, skew=clock_skew)
+        #: The heap allocator's critical region — the canonical no-halt
+        #: region (paper §5.5).  User code entering it is never halted
+        #: mid-allocation.
+        self.heap_region = CriticalRegion(
+            self.supervisor, name="heap_allocator", no_halt=True
+        )
+        # Attachment points wired up by repro.cluster:
+        self.station = None  # ring station
+        self.rpc = None  # RPC runtime
+        self.agent = None  # Pilgrim agent
+        self.crashed = False
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+
+    def spawn(self, body: Any, name: str = "proc", priority: int = 0,
+              halt_exempt: bool = False):
+        return self.supervisor.spawn(
+            body, name=name, priority=priority, halt_exempt=halt_exempt
+        )
+
+    def semaphore(self, count: int = 0, name: str = "sem") -> Semaphore:
+        return Semaphore(self.supervisor, count=count, name=name)
+
+    def region(self, name: str = "region", no_halt: bool = False) -> CriticalRegion:
+        return CriticalRegion(self.supervisor, name=name, no_halt=no_halt)
+
+    def monitor(self, name: str = "monitor") -> Monitor:
+        return Monitor(self.supervisor, name=name)
+
+    def queue(self, name: str = "queue") -> MessageQueue:
+        return MessageQueue(self.supervisor, name=name)
+
+    def crash(self) -> None:
+        """Fail-stop the node: all processes die, no further activity."""
+        self.crashed = True
+        for process in self.supervisor.live_processes():
+            self.supervisor.terminate(process)
+
+    def __repr__(self) -> str:
+        return f"<Node {self.node_id}:{self.name}>"

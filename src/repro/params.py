@@ -1,0 +1,110 @@
+"""Timing and sizing parameters for the simulated Mayflower environment.
+
+The defaults are chosen so the reproduction lands in the same regime as the
+paper's 8 MHz MC68000 / Cambridge Ring testbed:
+
+* a small Basic Block message takes **3.5 ms** (paper §5.2),
+* the minimum RPC latency is about **8 ms** (paper §5.2),
+* RPC debug instrumentation adds **400 µs** per call, a **2.5 %** slow-down
+  on a null RPC (paper §4.3) — hence a null RPC is ~16 ms round trip,
+* the recent-RPC cyclic buffer holds **10** entries (paper §4.3).
+
+Everything is expressed in integer microseconds of virtual time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.units import MS, SEC, US
+
+
+@dataclass
+class Params:
+    """One bag of knobs shared by all layers.
+
+    A single ``Params`` instance is attached to the cluster at boot and
+    threaded to each subsystem; tests override individual fields.
+    """
+
+    # ------------------------------------------------------------------
+    # CPU / scheduler (Mayflower supervisor)
+    # ------------------------------------------------------------------
+    #: Cost of one CVM instruction on the simulated CPU.
+    instruction_cost: int = 4 * US
+    #: Cost charged for a native-process syscall (supervisor entry/exit).
+    syscall_cost: int = 20 * US
+    #: Scheduler time slice.
+    quantum: int = 10 * MS
+    #: Cost of a context switch between light-weight processes.
+    context_switch_cost: int = 60 * US
+
+    # ------------------------------------------------------------------
+    # Cambridge Ring
+    # ------------------------------------------------------------------
+    #: Transmission+delivery latency of a small Basic Block message.
+    basic_block_latency: int = 3_500 * US
+    #: Per-station serialization gap: the ring has no data-link broadcast,
+    #: so successive sends from one station are spaced by at least this.
+    ring_tx_serialization: int = 3_500 * US
+    #: Extra latency per 1 KiB of payload beyond the first minipacket burst.
+    ring_per_kb_latency: int = 500 * US
+    #: Probability that a packet is dropped in transit (0 unless injected).
+    packet_loss_probability: float = 0.0
+    #: Retransmission delay used by the NACK-based halt broadcast.
+    nack_retry_delay: int = 500 * US
+
+    # ------------------------------------------------------------------
+    # RPC runtime
+    # ------------------------------------------------------------------
+    #: One-way processing cost in the RPC runtime (marshal + protocol),
+    #: charged on each side; tuned so a null exactly-once RPC completes in
+    #: about 16 ms round trip, matching the paper's 2.5% figure.
+    rpc_processing_cost: int = 4_500 * US
+    #: Extra per-call cost of the debug instrumentation (paper: 400 us).
+    rpc_debug_overhead: int = 400 * US
+    #: Extra per-*packet* cost of the rejected packet-monitor design
+    #: (paper §4.2: "RPCs might take twice as long").  Two packets per null
+    #: call x 8000us ~ doubles the 16 ms call.
+    rpc_monitor_packet_cost: int = 8_000 * US
+    #: Default timeout before the exactly-once protocol retransmits.
+    rpc_retransmit_interval: int = 40 * MS
+    #: Number of retransmissions before exactly-once reports node failure.
+    rpc_max_retransmits: int = 8
+    #: Timeout used by the maybe protocol before declaring failure.
+    maybe_timeout: int = 30 * MS
+    #: Size of the recent-call outcome cyclic buffer (paper: ten slots).
+    recent_call_slots: int = 10
+
+    # ------------------------------------------------------------------
+    # Agent / debugger
+    # ------------------------------------------------------------------
+    #: Cost of handling one agent request (excluding network round trip).
+    agent_request_cost: int = 300 * US
+    #: Priority assigned to agent processes (must outrank user processes).
+    agent_priority: int = 100
+    #: Tolerance used when comparing distributed clocks (paper §6.1).
+    clock_tolerance: int = 2 * MS
+    #: Cost added to every semaphore wait / monitor or region claim to
+    #: model the rejected §5.3 design ("ensure no other nodes had halted
+    #: before allowing a process to receive a message, resume from a
+    #: semaphore wait, or claim a monitor lock" — a network interaction
+    #: per operation).  Zero in Pilgrim's design; experiment E10 sets it
+    #: to a ring round trip.
+    halt_check_network_overhead: int = 0
+
+    # ------------------------------------------------------------------
+    # Shared servers (Cambridge DCS analogs)
+    # ------------------------------------------------------------------
+    #: Resource Manager allocation timeout (paper: "typically three hours";
+    #: scaled down so experiments stay fast, ratio preserved in benches).
+    resource_manager_timeout: int = 3 * 60 * SEC
+    #: TUID lifetime (paper: "two to five minutes").
+    tuid_lifetime: int = 2 * 60 * SEC
+
+    #: Extra fields patched in by individual experiments.
+    extras: dict = field(default_factory=dict)
+
+
+#: Module-level default parameter set.
+DEFAULT_PARAMS = Params()

@@ -1,0 +1,27 @@
+"""Cambridge Ring network model: stations, Basic Blocks, hardware NACKs,
+serial (non-broadcast) transmission, loss injection, and packet tracing.
+"""
+
+from repro.ring.network import Ring, RingTracer, Station
+from repro.ring.packets import (
+    TRACE_DELIVERED,
+    TRACE_DROPPED,
+    TRACE_NACKED,
+    TRACE_NO_HANDLER,
+    TRACE_SENT,
+    BasicBlock,
+    TraceRecord,
+)
+
+__all__ = [
+    "Ring",
+    "RingTracer",
+    "Station",
+    "BasicBlock",
+    "TraceRecord",
+    "TRACE_SENT",
+    "TRACE_DELIVERED",
+    "TRACE_DROPPED",
+    "TRACE_NACKED",
+    "TRACE_NO_HANDLER",
+]

@@ -1,0 +1,235 @@
+"""The simulated Cambridge Ring.
+
+Properties the reproduction depends on (paper §5.2):
+
+* the ring is a broadcast *medium* but provides **no broadcast facility at
+  the data-link layer** — all sends are unicast and successive sends from
+  one station are serialized;
+* the transmitting hardware is informed if a packet was **not received by
+  the destination network interface** (the hardware NACK that Pilgrim's
+  halt broadcast uses for its negative-acknowledgement retransmissions);
+* packets can still be lost *after* interface receipt (buffer overrun,
+  software loss) — such losses are silent, which is what makes the *maybe*
+  RPC protocol interesting to debug (call packet lost vs reply packet
+  lost, paper §4.1).
+
+Timing: a small Basic Block takes ``params.basic_block_latency`` (default
+3.5 ms) from transmission start to delivery, and a station's transmitter is
+busy for ``params.ring_tx_serialization`` per packet, so a burst of N sends
+from one station lands at t + k * 3.5 ms for k = 1..N — exactly the
+arithmetic behind "we could be confident of contacting only two nodes"
+(paper §5.2, reproduced as experiment E3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.params import Params
+from repro.ring.packets import (
+    TRACE_DELIVERED,
+    TRACE_DROPPED,
+    TRACE_NACKED,
+    TRACE_NO_HANDLER,
+    TRACE_SENT,
+    BasicBlock,
+    TraceRecord,
+)
+
+if TYPE_CHECKING:
+    from repro.mayflower.node import Node
+    from repro.sim.world import World
+
+PortHandler = Callable[[BasicBlock], None]
+NackHandler = Callable[[BasicBlock], None]
+DropFilter = Callable[[BasicBlock], bool]
+
+
+class Station:
+    """One node's ring interface."""
+
+    def __init__(self, ring: "Ring", node: "Node"):
+        self.ring = ring
+        self.node = node
+        self.address = node.node_id
+        self._ports: dict[str, PortHandler] = {}
+        #: Time at which the transmitter becomes free again.
+        self.tx_free_at = 0
+        self.packets_sent = 0
+        self.packets_received = 0
+
+    def register_port(self, port: str, handler: PortHandler) -> None:
+        """Attach a software handler for packets addressed to ``port``."""
+        self._ports[port] = handler
+
+    def unregister_port(self, port: str) -> None:
+        self._ports.pop(port, None)
+
+    def handler_for(self, port: str) -> Optional[PortHandler]:
+        return self._ports.get(port)
+
+    def send(
+        self,
+        dst: int,
+        port: str,
+        payload: object,
+        size_bytes: int = 64,
+        kind: str = "data",
+        on_nack: Optional[NackHandler] = None,
+    ) -> BasicBlock:
+        """Transmit a Basic Block; returns the packet for correlation.
+
+        ``on_nack`` (if given) is invoked when the sending *hardware*
+        reports that the destination interface did not accept the packet.
+        Silent software-level losses do not trigger it.
+        """
+        packet = BasicBlock(
+            src=self.address,
+            dst=dst,
+            port=port,
+            payload=payload,
+            size_bytes=size_bytes,
+            kind=kind,
+        )
+        self.ring.transmit(self, packet, on_nack)
+        return packet
+
+    def __repr__(self) -> str:
+        return f"<Station {self.address} ports={sorted(self._ports)}>"
+
+
+class Ring:
+    """The shared Cambridge Ring connecting all stations."""
+
+    def __init__(self, world: "World", params: Optional[Params] = None):
+        self.world = world
+        self.params = params or Params()
+        self.stations: dict[int, Station] = {}
+        #: Trace subscribers: fn(TraceRecord).  The packet-monitor RPC
+        #: debugging design (E2) and post-mortem tools (E8) hook in here.
+        self.trace_hooks: list[Callable[[TraceRecord], None]] = []
+        #: Optional per-packet drop predicates for targeted fault injection.
+        #: Returning True drops the packet silently (software-level loss).
+        self.drop_filters: list[DropFilter] = []
+        #: Probability of hardware-detectable (NACKed) non-receipt.
+        self.interface_nack_probability = 0.0
+        #: Targeted fault injection: predicates that force a hardware NACK
+        #: for matching packets (complements drop_filters' silent loss).
+        self.nack_filters: list[DropFilter] = []
+        self.total_sent = 0
+        self.total_delivered = 0
+        self.total_dropped = 0
+        self.total_nacked = 0
+
+    def attach(self, node: "Node") -> Station:
+        """Create and register the station for a node."""
+        station = Station(self, node)
+        self.stations[station.address] = station
+        node.station = station
+        return station
+
+    # ------------------------------------------------------------------
+
+    def transmit(
+        self,
+        station: Station,
+        packet: BasicBlock,
+        on_nack: Optional[NackHandler],
+    ) -> None:
+        # Sends may originate from a process running ahead on its node's
+        # local CPU cursor; stamp transmission with the sender's time.
+        now = station.node.supervisor.current_time()
+        tx_start = max(now, station.tx_free_at)
+        tx_time = self._tx_serialization(packet)
+        station.tx_free_at = tx_start + tx_time
+        station.packets_sent += 1
+        self.total_sent += 1
+        self._trace(TRACE_SENT, packet, at=now)
+
+        dst_station = self.stations.get(packet.dst)
+        dst_down = dst_station is None or dst_station.node.crashed
+        hardware_nack = dst_down or any(
+            nack_filter(packet) for nack_filter in self.nack_filters
+        ) or (
+            self.interface_nack_probability > 0
+            and self.world.rng.random() < self.interface_nack_probability
+        )
+        if hardware_nack:
+            # The transmitting hardware learns of non-receipt when the
+            # minipacket returns — i.e. by the end of transmission.
+            self.total_nacked += 1
+            self._trace(TRACE_NACKED, packet)
+            if on_nack is not None:
+                self.world.schedule_at(
+                    station.tx_free_at, on_nack, packet, node=packet.src
+                )
+            return
+
+        delivery_time = tx_start + self._latency(packet)
+        self.world.schedule_at(delivery_time, self._deliver, packet, node=packet.dst)
+
+    def _deliver(self, packet: BasicBlock) -> None:
+        station = self.stations.get(packet.dst)
+        if station is None or station.node.crashed:
+            # Went down in flight: silent from the sender's viewpoint.
+            self.total_dropped += 1
+            self._trace(TRACE_DROPPED, packet)
+            return
+        if self._should_drop(packet):
+            self.total_dropped += 1
+            self._trace(TRACE_DROPPED, packet)
+            return
+        handler = station.handler_for(packet.port)
+        if handler is None:
+            self.total_dropped += 1
+            self._trace(TRACE_NO_HANDLER, packet)
+            return
+        station.packets_received += 1
+        self.total_delivered += 1
+        self._trace(TRACE_DELIVERED, packet)
+        handler(packet)
+
+    # ------------------------------------------------------------------
+
+    def _should_drop(self, packet: BasicBlock) -> bool:
+        for drop_filter in self.drop_filters:
+            if drop_filter(packet):
+                return True
+        probability = self.params.packet_loss_probability
+        return probability > 0 and self.world.rng.random() < probability
+
+    def _latency(self, packet: BasicBlock) -> int:
+        extra_kb = max(0, (packet.size_bytes - 64) // 1024)
+        return self.params.basic_block_latency + extra_kb * self.params.ring_per_kb_latency
+
+    def _tx_serialization(self, packet: BasicBlock) -> int:
+        extra_kb = max(0, (packet.size_bytes - 64) // 1024)
+        return (
+            self.params.ring_tx_serialization
+            + extra_kb * self.params.ring_per_kb_latency
+        )
+
+    def _trace(self, event: str, packet: BasicBlock, at: Optional[int] = None) -> None:
+        if not self.trace_hooks:
+            return
+        when = at if at is not None else self.world.now
+        record = TraceRecord(time=when, event=event, packet=packet)
+        for hook in self.trace_hooks:
+            hook(record)
+
+    def __repr__(self) -> str:
+        return f"<Ring stations={sorted(self.stations)} sent={self.total_sent}>"
+
+
+class RingTracer:
+    """Convenience trace collector (drop-in for ``ring.trace_hooks``)."""
+
+    def __init__(self, ring: Ring):
+        self.records: list[TraceRecord] = []
+        ring.trace_hooks.append(self.records.append)
+
+    def events_for(self, packet_id: int) -> list[str]:
+        return [r.event for r in self.records if r.packet.packet_id == packet_id]
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.packet.kind == kind]

@@ -1,0 +1,118 @@
+"""The rejected packet-monitor RPC debugging design (paper §4.2).
+
+"One way ... was to monitor all RPC packets through a hook in the network
+device driver.  A state machine would be maintained for each in-progress
+RPC ... It became clear however that the work performed in the RPC
+debugging support would be of the same order as that in the RPC
+implementation itself.  Thus RPCs might take twice as long when under
+control of the debugger.  This was unacceptable."
+
+We implement it anyway, as the ablation of experiment E2: attaching a
+:class:`PacketMonitor` to a node's runtime both (a) reconstructs per-call
+state machines from the raw packet stream and (b) charges the
+`rpc_monitor_packet_cost` that models the duplicated protocol work.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.ring.packets import TRACE_DELIVERED, TRACE_SENT, TraceRecord
+
+if TYPE_CHECKING:
+    from repro.ring.network import Ring
+    from repro.rpc.runtime import RpcRuntime
+
+
+class MonitoredCall:
+    """State machine reconstructed purely from observed packets."""
+
+    def __init__(self, call_id: int):
+        self.call_id = call_id
+        self.state = "unknown"
+        self.service: Optional[str] = None
+        self.proc: Optional[str] = None
+        self.protocol: Optional[str] = None
+        self.call_packets = 0
+        self.reply_packets = 0
+        self.first_seen: Optional[int] = None
+        self.last_seen: Optional[int] = None
+
+    def describe(self) -> dict:
+        return {
+            "call_id": self.call_id,
+            "state": self.state,
+            "service": self.service,
+            "proc": self.proc,
+            "protocol": self.protocol,
+            "call_packets": self.call_packets,
+            "reply_packets": self.reply_packets,
+        }
+
+
+class PacketMonitor:
+    """Driver-hook monitor attached to one node's view of the ring."""
+
+    def __init__(self, ring: "Ring", runtime: "RpcRuntime"):
+        self.ring = ring
+        self.runtime = runtime
+        self.node_id = runtime.node.node_id
+        self.calls: dict[int, MonitoredCall] = {}
+        ring.trace_hooks.append(self._on_trace)
+        runtime.monitor = self  # switches on the per-packet cost
+
+    def detach(self) -> None:
+        if self._on_trace in self.ring.trace_hooks:
+            self.ring.trace_hooks.remove(self._on_trace)
+        if self.runtime.monitor is self:
+            self.runtime.monitor = None
+
+    # ------------------------------------------------------------------
+
+    def _on_trace(self, record: TraceRecord) -> None:
+        packet = record.packet
+        if packet.kind not in ("rpc_call", "rpc_reply"):
+            return
+        # The driver hook sees packets this node sends or receives.
+        if self.node_id not in (packet.src, packet.dst):
+            return
+        if record.event not in (TRACE_SENT, TRACE_DELIVERED):
+            return
+        payload = packet.payload
+        call_id = payload.get("call_id")
+        if call_id is None:
+            return
+        call = self.calls.get(call_id)
+        if call is None:
+            call = MonitoredCall(call_id)
+            self.calls[call_id] = call
+            call.first_seen = record.time
+        call.last_seen = record.time
+        if packet.kind == "rpc_call":
+            call.call_packets += 1
+            call.service = payload.get("service", call.service)
+            call.proc = payload.get("proc", call.proc)
+            call.protocol = payload.get("protocol", call.protocol)
+            if call.call_packets == 1:
+                call.state = "call_sent"
+            else:
+                call.state = "retransmitting"
+        else:
+            call.reply_packets += 1
+            if payload.get("status") == "ok":
+                call.state = "completed"
+            else:
+                call.state = "failed"
+
+    # ------------------------------------------------------------------
+
+    def in_progress(self) -> list[dict]:
+        return [
+            call.describe()
+            for call in self.calls.values()
+            if call.state in ("call_sent", "retransmitting")
+        ]
+
+    def describe(self, call_id: int) -> Optional[dict]:
+        call = self.calls.get(call_id)
+        return call.describe() if call else None

@@ -1,0 +1,47 @@
+"""Cluster-wide service name registry.
+
+Stands in for the Cambridge Distributed Computing System's name server:
+maps service names to node addresses and holds the typed interface
+(signature) of each exported procedure, giving the fully type-checked RPC
+of paper §2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.rpc.marshal import Signature
+
+
+class ServiceRegistry:
+    """Service name -> node address, plus per-procedure signatures."""
+
+    def __init__(self):
+        self._services: dict[str, int] = {}
+        self._signatures: dict[tuple[str, str], Signature] = {}
+
+    def register(
+        self,
+        service: str,
+        node_id: int,
+        signatures: Optional[dict[str, Signature]] = None,
+    ) -> None:
+        self._services[service] = node_id
+        if signatures:
+            for proc, signature in signatures.items():
+                self._signatures[(service, proc)] = signature
+
+    def unregister(self, service: str) -> None:
+        self._services.pop(service, None)
+
+    def lookup(self, service: str) -> Optional[int]:
+        return self._services.get(service)
+
+    def signature(self, service: str, proc: str) -> Optional[Signature]:
+        return self._signatures.get((service, proc))
+
+    def services(self) -> list[str]:
+        return sorted(self._services)
+
+    def __repr__(self) -> str:
+        return f"<ServiceRegistry {self._services}>"

@@ -1,0 +1,36 @@
+"""Shared servers of the distributed environment (paper §6): the Resource
+Manager, AOTMan (TUIDs), a file server, and a name server — each able to
+maintain time consistency for clients that are being debugged, via the
+pluggable timeout strategies of :mod:`repro.servers.strategies`.
+"""
+
+from repro.servers.aotman import AotMan
+from repro.servers.fileserver import FileServer
+from repro.servers.leases import Lease, LeaseTable
+from repro.servers.nameserver import NameServer
+from repro.servers.resource_manager import ResourceManager
+from repro.servers.strategies import (
+    STRATEGIES,
+    Fig3Strategy,
+    Fig4Strategy,
+    IgnoreTimeoutsStrategy,
+    NaiveStrategy,
+    TimeoutStrategy,
+    make_strategy,
+)
+
+__all__ = [
+    "AotMan",
+    "FileServer",
+    "Lease",
+    "LeaseTable",
+    "NameServer",
+    "ResourceManager",
+    "STRATEGIES",
+    "Fig3Strategy",
+    "Fig4Strategy",
+    "IgnoreTimeoutsStrategy",
+    "NaiveStrategy",
+    "TimeoutStrategy",
+    "make_strategy",
+]

@@ -1,0 +1,92 @@
+"""AOTMan, the authentication manager (paper §6.2).
+
+"The authentication manager, AOTMan, issues temporary unique identifiers
+or TUIDs which are capability-like objects describing rights of access or
+service.  TUIDs must be continually refreshed before their timeouts,
+typically two to five minutes long, expire.  Finding a bug in a client,
+such as accidentally omitting to refresh a TUID, would be much easier if
+AOTMan extended timeouts by the correct amount when the client was under
+control of the debugger."
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+from repro.cvm.values import CluRecord
+from repro.mayflower.syscalls import Cpu
+from repro.rpc.marshal import Signature
+from repro.servers.leases import Lease, LeaseTable
+from repro.servers.strategies import TimeoutStrategy, make_strategy
+
+if TYPE_CHECKING:
+    from repro.cluster import Cluster
+
+SERVICE = "aotman"
+
+
+class AotMan:
+    """Issues and validates TUIDs under a debug-aware lifetime strategy."""
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        node,
+        strategy: str = "fig4",
+        lifetime: Optional[int] = None,
+        service: str = SERVICE,
+    ):
+        self.cluster = cluster
+        self.node = cluster.node(node)
+        self.lifetime = lifetime if lifetime is not None else (
+            self.node.params.tuid_lifetime
+        )
+        self.strategy: TimeoutStrategy = make_strategy(strategy)
+        self.leases = LeaseTable(self.node)
+        self._tuid_counter = itertools.count(0x1000)
+        #: tuid -> (client_node, rights, lease)
+        self.tuids: dict[int, tuple[int, str, Lease]] = {}
+        self.expired_tuids = 0
+        self.node.rpc.export_native(
+            service,
+            {
+                "issue": self._rpc_issue,
+                "refresh": self._rpc_refresh,
+                "validate": self._rpc_validate,
+            },
+            signatures={
+                "issue": Signature(["string"], "tuid"),
+                "refresh": Signature(["int"], "bool"),
+                "validate": Signature(["int"], "bool"),
+            },
+        )
+
+    def _rpc_issue(self, ctx, rights: str):
+        yield Cpu(150)
+        tuid = next(self._tuid_counter)
+        lease = self.leases.create(
+            ctx.client_node, self.lifetime, self.strategy, tag=tuid
+        )
+        original_on_expire = lease.on_expire
+
+        def expire(l: Lease) -> None:
+            original_on_expire(l)
+            self.expired_tuids += 1
+            self.tuids.pop(tuid, None)
+
+        lease.on_expire = expire
+        self.tuids[tuid] = (ctx.client_node, rights, lease)
+        return CluRecord("tuid", {"id": tuid, "rights": rights})
+
+    def _rpc_refresh(self, ctx, tuid: int) -> bool:
+        entry = self.tuids.get(tuid)
+        if entry is None or entry[0] != ctx.client_node:
+            return False
+        return entry[2].refresh()
+
+    def _rpc_validate(self, ctx, tuid: int) -> bool:
+        return tuid in self.tuids
+
+    def is_valid(self, tuid: int) -> bool:
+        return tuid in self.tuids

@@ -1,0 +1,110 @@
+"""A file server that converts date/time data for debugged clients
+(paper §6.2, "Converting date/time data").
+
+"A client that is being debugged may notice inconsistent timing if it
+receives explicit date/time values from a server, for instance as the
+date of last modification of a file.  A server can convert this time data
+using the convert_debuggee_time procedure."
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.agent.requests import DEBUG_SERVICE, NO_DEBUGGER
+from repro.cvm.values import CluArray, CluRecord, RpcFailure
+from repro.debugger.pilgrim import PILGRIM_TIME_SERVICE
+from repro.mayflower.syscalls import Cpu, Now
+from repro.rpc.marshal import Signature
+from repro.rpc.runtime import remote_call
+
+if TYPE_CHECKING:
+    from repro.cluster import Cluster
+
+SERVICE = "filesvc"
+
+
+class FileServer:
+    """Files with contents and modification dates."""
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        node,
+        convert_dates: bool = True,
+        service: str = SERVICE,
+    ):
+        self.cluster = cluster
+        self.node = cluster.node(node)
+        #: Whether to translate modification dates into a debugged
+        #: client's logical time scale.
+        self.convert_dates = convert_dates
+        #: name -> [data, modified_real_time]
+        self.files: dict[str, list] = {}
+        self.conversions = 0
+        self.node.rpc.export_native(
+            service,
+            {
+                "read": self._rpc_read,
+                "write": self._rpc_write,
+                "listing": self._rpc_listing,
+            },
+            signatures={
+                "read": Signature(["string"], "file"),
+                "write": Signature(["string", "string"], "bool"),
+                "listing": Signature([], "any"),
+            },
+        )
+
+    def put(self, name: str, data: str, modified: int) -> None:
+        """Server-side seeding of file state (for tests/examples)."""
+        self.files[name] = [data, modified]
+
+    def _rpc_write(self, ctx, name: str, data: str):
+        yield Cpu(300)
+        now = yield Now()
+        self.files[name] = [data, now]
+        return True
+
+    def _rpc_read(self, ctx, name: str):
+        yield Cpu(200)
+        entry = self.files.get(name)
+        if entry is None:
+            return CluRecord(
+                "file", {"ok": False, "data": "", "modified": 0}
+            )
+        data, modified = entry
+        if self.convert_dates:
+            modified = yield from self._convert_for_client(
+                ctx.client_node, modified
+            )
+        return CluRecord("file", {"ok": True, "data": data, "modified": modified})
+
+    def _rpc_listing(self, ctx):
+        return CluArray(sorted(self.files))
+
+    def _convert_for_client(self, client_node: int, date: int):
+        """If the client is under a debugger, map the real date into the
+        client's logical time scale via convert_debuggee_time."""
+        status = yield from remote_call(
+            self.node.rpc,
+            DEBUG_SERVICE,
+            "get_debuggee_status",
+            dst_node=client_node,
+        )
+        if isinstance(status, RpcFailure):
+            return date
+        debugger = status.fields["debugger"]
+        if debugger == NO_DEBUGGER:
+            return date
+        converted = yield from remote_call(
+            self.node.rpc,
+            PILGRIM_TIME_SERVICE,
+            "convert_debuggee_time",
+            [date],
+            dst_node=debugger,
+        )
+        if isinstance(converted, RpcFailure):
+            return date
+        self.conversions += 1
+        return converted

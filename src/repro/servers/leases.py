@@ -1,0 +1,125 @@
+"""Shared lease machinery for debug-aware servers.
+
+A *lease* is a timeout a server holds on behalf of one client: a machine
+allocation (Resource Manager), a TUID lifetime (AOTMan), a lock, and so
+on.  The client keeps the lease alive by refreshing it; a *keeper*
+process on the server waits on the lease's semaphore under a pluggable
+:class:`~repro.servers.strategies.TimeoutStrategy` and reclaims the lease
+when it genuinely expires (in the client's logical time scale).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.mayflower.syscalls import Cpu
+from repro.servers.strategies import TimeoutStrategy
+
+if TYPE_CHECKING:
+    from repro.mayflower.node import Node
+    from repro.mayflower.sync import Semaphore
+
+
+class Lease:
+    """One client-held timeout."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        node: "Node",
+        client_node: int,
+        timeout: int,
+        strategy: TimeoutStrategy,
+        on_expire: Callable[["Lease"], None],
+        tag: object = None,
+    ):
+        self.lease_id = next(Lease._ids)
+        self.node = node
+        self.client_node = client_node
+        self.timeout = timeout
+        self.strategy = strategy
+        self.on_expire = on_expire
+        self.tag = tag
+        self.alive = True
+        self.refreshes = 0
+        self.expired_at: Optional[int] = None
+        self.sem: "Semaphore" = node.semaphore(name=f"lease{self.lease_id}")
+        #: Set to force the keeper to drop the lease on next wake
+        #: (release, or reclaim-on-contention).
+        self._released = False
+        self.keeper = node.spawn(
+            self._keeper_body(), name=f"lease.keeper.{self.lease_id}"
+        )
+
+    def refresh(self) -> bool:
+        if not self.alive:
+            return False
+        self.refreshes += 1
+        self.sem.signal()
+        return True
+
+    def release(self) -> None:
+        """Voluntary release by the client (or forced reclaim)."""
+        if not self.alive:
+            return
+        self._released = True
+        self.sem.signal()
+
+    def _keeper_body(self):
+        while True:
+            refreshed = yield from self.strategy.wait(
+                self.node, self.sem, self.timeout, self.client_node
+            )
+            yield Cpu(50)
+            if self._released:
+                self.alive = False
+                return
+            if not refreshed:
+                self.alive = False
+                self.expired_at = self.node.clock.real_now()
+                self.on_expire(self)
+                return
+            # Refreshed: loop and wait out the next period.
+
+
+class LeaseTable:
+    """All live leases of one server."""
+
+    def __init__(self, node: "Node"):
+        self.node = node
+        self.leases: dict[int, Lease] = {}
+        self.expired: list[Lease] = []
+
+    def create(
+        self,
+        client_node: int,
+        timeout: int,
+        strategy: TimeoutStrategy,
+        tag: object = None,
+    ) -> Lease:
+        lease = Lease(
+            self.node,
+            client_node,
+            timeout,
+            strategy,
+            on_expire=self._on_expire,
+            tag=tag,
+        )
+        self.leases[lease.lease_id] = lease
+        return lease
+
+    def _on_expire(self, lease: Lease) -> None:
+        self.leases.pop(lease.lease_id, None)
+        self.expired.append(lease)
+
+    def get(self, lease_id: int) -> Optional[Lease]:
+        return self.leases.get(lease_id)
+
+    def drop(self, lease: Lease) -> None:
+        lease.release()
+        self.leases.pop(lease.lease_id, None)
+
+    def live_count(self) -> int:
+        return sum(1 for lease in self.leases.values() if lease.alive)

@@ -1,0 +1,46 @@
+"""A thin name server exposing the service registry over RPC.
+
+Stands in for the Cambridge Distributed Computing System name server
+(paper §2 mentions Mayflower "makes use of many of the servers which
+comprise the Cambridge Distributed Computing System").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cvm.values import CluArray
+from repro.rpc.marshal import Signature
+
+if TYPE_CHECKING:
+    from repro.cluster import Cluster
+
+SERVICE = "namesvc"
+
+
+class NameServer:
+    """lookup/list over the cluster's service registry."""
+
+    def __init__(self, cluster: "Cluster", node, service: str = SERVICE):
+        self.cluster = cluster
+        self.node = cluster.node(node)
+        self.lookups = 0
+        self.node.rpc.export_native(
+            service,
+            {
+                "lookup": self._rpc_lookup,
+                "services": self._rpc_services,
+            },
+            signatures={
+                "lookup": Signature(["string"], "int"),
+                "services": Signature([], "any"),
+            },
+        )
+
+    def _rpc_lookup(self, ctx, name: str) -> int:
+        self.lookups += 1
+        address = self.cluster.registry.lookup(name)
+        return address if address is not None else -1
+
+    def _rpc_services(self, ctx):
+        return CluArray(self.cluster.registry.services())

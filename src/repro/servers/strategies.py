@@ -1,0 +1,220 @@
+"""Debug-aware timeout strategies for shared servers (paper §6).
+
+A server holding a timeout on behalf of a client can keep that timeout
+honest while the client is being debugged, using the two support
+procedures:
+
+* ``get_debuggee_status`` — served by the client's agent (halt-exempt),
+* ``convert_debuggee_time`` — served by the debugger.
+
+Strategies:
+
+* :class:`NaiveStrategy` — plain timeout, oblivious to debugging; the
+  baseline whose leases collapse when the client is breakpointed.
+* :class:`Fig3Strategy` — the paper's Figure 3: obtain the client's
+  logical time when the timeout starts; on expiry re-check and extend by
+  the unserved logical remainder.  Costs one status RPC per timeout
+  *started*.
+* :class:`Fig4Strategy` — the paper's Figure 4: no work unless the
+  timeout actually expires; then one status RPC plus one
+  convert_debuggee_time RPC to the debugger.
+* :class:`IgnoreTimeoutsStrategy` — §6.2 "Ignoring long timeouts": if the
+  client is under a debugger, extend indefinitely (re-arm the full
+  timeout); the Resource Manager's three-hour leases want exactly this.
+
+Each strategy counts its support-procedure calls so experiment E5 can
+compare costs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.agent.requests import DEBUG_SERVICE, NO_DEBUGGER
+from repro.cvm.values import RpcFailure
+from repro.debugger.pilgrim import PILGRIM_TIME_SERVICE
+from repro.mayflower.syscalls import Now, Wait
+from repro.rpc.runtime import remote_call
+
+if TYPE_CHECKING:
+    from repro.mayflower.node import Node
+    from repro.mayflower.sync import Semaphore
+
+
+class TimeoutStrategy:
+    """Base: wait on ``sem`` for up to ``timeout`` on behalf of a client.
+
+    ``wait`` is a generator (native-process style) returning True if the
+    semaphore was signalled (lease refreshed / work arrived) and False if
+    the timeout genuinely expired in the client's time scale.
+    """
+
+    name = "base"
+
+    def __init__(self):
+        self.status_rpcs = 0
+        self.convert_rpcs = 0
+        self.extensions = 0
+
+    def wait(
+        self, node: "Node", sem: "Semaphore", timeout: int, client_node: int
+    ) -> Generator:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def _get_status(self, node: "Node", client_node: int) -> Generator:
+        """Call get_debuggee_status at the client (one RPC)."""
+        self.status_rpcs += 1
+        status = yield from remote_call(
+            node.rpc,
+            DEBUG_SERVICE,
+            "get_debuggee_status",
+            dst_node=client_node,
+        )
+        if isinstance(status, RpcFailure):
+            return None
+        return status.fields["debugger"], status.fields["logical_time"]
+
+    def counters(self) -> dict:
+        return {
+            "status_rpcs": self.status_rpcs,
+            "convert_rpcs": self.convert_rpcs,
+            "extensions": self.extensions,
+        }
+
+
+class NaiveStrategy(TimeoutStrategy):
+    """Debug-oblivious: the timeout fires on the server's real clock."""
+
+    name = "naive"
+
+    def wait(self, node, sem, timeout, client_node):
+        got = yield Wait(sem, timeout)
+        return bool(got)
+
+
+class IgnoreTimeoutsStrategy(TimeoutStrategy):
+    """§6.2 'Ignoring long timeouts': while the client is under a
+    debugger, keep re-arming the full timeout."""
+
+    name = "ignore"
+
+    def wait(self, node, sem, timeout, client_node):
+        while True:
+            got = yield Wait(sem, timeout)
+            if got:
+                return True
+            status = yield from self._get_status(node, client_node)
+            if status is None:
+                return False
+            debugger, _logical = status
+            if debugger == NO_DEBUGGER:
+                return False
+            self.extensions += 1
+            # Client is being debugged: extend indefinitely (until the
+            # end of the debugging session).
+
+
+class Fig3Strategy(TimeoutStrategy):
+    """The paper's Figure 3, transcribed.
+
+    Obtains the client's logical time just before the timeout begins; if
+    the timeout expires, re-reads it, and if the client's logical clock is
+    slow (it was breakpointed during the wait) re-waits for the remainder.
+    """
+
+    name = "fig3"
+
+    def wait(self, node, sem, timeout, client_node):
+        status = yield from self._get_status(node, client_node)
+        if status is None:
+            # Client unreachable: fall back to the plain timeout.
+            got = yield Wait(sem, timeout)
+            return bool(got)
+        _debugger, client_start = status
+        tolerance = node.params.clock_tolerance
+        keep_waiting = True
+        while keep_waiting:
+            keep_waiting = False
+            got = yield Wait(sem, timeout)
+            if got:
+                return True
+            status = yield from self._get_status(node, client_node)
+            if status is None:
+                return False
+            _debugger, client_now = status
+            now = yield Now()
+            if now > client_now + tolerance:
+                # Client logical time is slow: client may have been
+                # breakpointed during the timeout.
+                time_left = timeout - (client_now - client_start)
+                if time_left > tolerance:
+                    timeout = time_left
+                    client_start = client_now
+                    keep_waiting = True
+                    self.extensions += 1
+        return False
+
+
+class Fig4Strategy(TimeoutStrategy):
+    """The paper's Figure 4, transcribed.
+
+    Avoids the per-timeout status call; on expiry it asks the client for
+    its status and the *debugger* to convert (real_now - timeout) into the
+    client's logical scale, yielding the logical start of the wait.
+    """
+
+    name = "fig4"
+
+    def wait(self, node, sem, timeout, client_node):
+        tolerance = node.params.clock_tolerance
+        keep_waiting = True
+        while keep_waiting:
+            keep_waiting = False
+            got = yield Wait(sem, timeout)
+            if got:
+                return True
+            # Sample the server clock at the moment of expiry, *before*
+            # the status RPC: otherwise the status round trip itself looks
+            # like client slowness.  (The paper samples after the call and
+            # absorbs this in the clock tolerance; sampling first keeps
+            # the comparison exact with a small tolerance.)
+            real_now = yield Now()  # the server is not debugged: logical == real
+            status = yield from self._get_status(node, client_node)
+            if status is None:
+                return False
+            debugger, client_now = status
+            if real_now > client_now + tolerance:
+                if debugger == NO_DEBUGGER:
+                    return False
+                self.convert_rpcs += 1
+                client_start = yield from remote_call(
+                    node.rpc,
+                    PILGRIM_TIME_SERVICE,
+                    "convert_debuggee_time",
+                    [real_now - timeout],
+                    dst_node=debugger,
+                )
+                if isinstance(client_start, RpcFailure):
+                    return False
+                time_left = timeout - (client_now - client_start)
+                if time_left > tolerance:
+                    timeout = time_left
+                    keep_waiting = True
+                    self.extensions += 1
+        return False
+
+
+STRATEGIES = {
+    "naive": NaiveStrategy,
+    "ignore": IgnoreTimeoutsStrategy,
+    "fig3": Fig3Strategy,
+    "fig4": Fig4Strategy,
+}
+
+
+def make_strategy(name: str) -> TimeoutStrategy:
+    try:
+        return STRATEGIES[name]()
+    except KeyError:
+        raise ValueError(f"unknown timeout strategy {name!r}") from None

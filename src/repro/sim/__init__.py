@@ -1,0 +1,26 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the execution substrate for the whole reproduction.  It
+provides a single global virtual clock measured in integer microseconds, an
+event queue with stable FIFO ordering among simultaneous events, and a
+:class:`~repro.sim.world.World` object that drives the simulation.
+
+The kernel supports *cooperative time slicing*: an event handler (typically a
+node executing VM instructions) may advance the clock incrementally with
+:meth:`World.advance` as long as it does not run past the next queued event.
+This yields exact instruction-level interleaving between nodes without paying
+for one heap operation per instruction.
+"""
+
+from repro.sim.world import EventHandle, SimulationError, World
+from repro.sim.units import MS, SEC, US, format_time
+
+__all__ = [
+    "EventHandle",
+    "SimulationError",
+    "World",
+    "US",
+    "MS",
+    "SEC",
+    "format_time",
+]

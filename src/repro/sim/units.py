@@ -1,0 +1,29 @@
+"""Time units for the simulation.
+
+All simulated time is kept as integer microseconds.  These constants make
+call sites read naturally: ``world.schedule(8 * MS, fn)``.
+"""
+
+US = 1
+MS = 1_000
+SEC = 1_000_000
+
+#: A time that compares greater than any reachable simulation time.
+FOREVER = 1 << 62
+
+
+def format_time(us: int) -> str:
+    """Render a microsecond timestamp as a human-readable string.
+
+    >>> format_time(8_000)
+    '8.000ms'
+    >>> format_time(2_500_000)
+    '2.500s'
+    >>> format_time(400)
+    '400us'
+    """
+    if us >= SEC:
+        return f"{us / SEC:.3f}s"
+    if us >= MS:
+        return f"{us / MS:.3f}ms"
+    return f"{us}us"

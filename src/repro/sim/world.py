@@ -1,0 +1,289 @@
+"""The event-driven simulation world.
+
+A :class:`World` owns the virtual clock and the event queue.  Everything in
+the reproduction — supervisor scheduling, ring packet delivery, semaphore
+timeouts, agent halt broadcasts — is expressed as events scheduled here.
+
+Determinism rules
+-----------------
+* Events with equal timestamps run in the order they were scheduled (a
+  monotonically increasing sequence number breaks ties).
+* All randomness flows through ``world.rng``, a seeded ``random.Random``.
+* Handlers may advance the clock cooperatively with :meth:`World.advance`,
+  but never past the next queued event; this is how node CPU slices
+  interleave with packet deliveries at exact microsecond granularity.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, Optional
+
+from repro.sim.units import FOREVER
+
+
+class SimulationError(Exception):
+    """Raised on misuse of the simulation kernel (e.g. scheduling in the past)."""
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    Cancellation is lazy: the queue entry stays in the heap but is skipped
+    when popped.  ``remaining(now)`` reports the time left until the event
+    fires, which the supervisor uses to freeze semaphore timeouts while a
+    node is halted at a breakpoint.
+
+    ``node`` tags the event with the node it can affect (packet delivery to
+    that node, its timers, its scheduler ticks); untagged events are global
+    and bound every node's execution window.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "node")
+
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        node: Optional[int] = None,
+    ):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.node = node
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        # Drop references so cancelled closures do not pin objects alive.
+        self.fn = _nothing
+        self.args = ()
+
+    def remaining(self, now: int) -> int:
+        """Microseconds until this event fires (>= 0)."""
+        return max(0, self.time - now)
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time} seq={self.seq} {state}>"
+
+
+def _nothing(*_args: Any) -> None:
+    """Placeholder callback for cancelled events."""
+
+
+class World:
+    """Global virtual clock plus event queue.
+
+    Multi-node parallelism: nodes consume CPU time on *local* cursors that
+    run ahead of ``now`` inside an execution window computed by
+    :meth:`window_for` — a node may run up to its own next event (timer,
+    packet delivery, tick), any global event, or any other node's next
+    event plus the network lookahead (nothing can cross nodes faster than
+    one Basic Block).  This is conservative parallel discrete-event
+    simulation; it keeps two busy CPUs advancing over the same virtual
+    interval instead of serializing them.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the world's random number generator.  Two worlds created
+        with the same seed and driven by the same code produce identical
+        event traces.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.now: int = 0
+        self.rng = random.Random(seed)
+        self._queue: list[EventHandle] = []
+        #: Per-node index heaps (same handles) for window computation.
+        self._node_index: dict[int, list[EventHandle]] = {}
+        self._global_index: list[EventHandle] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        #: While run(until=...) is active, cooperative advancement and
+        #: peek_next_time() are capped here so no handler runs past it.
+        self._boundary: Optional[int] = None
+        #: High-water mark of node-local CPU cursors, so the clock lands on
+        #: the true end of computation when the event queue drains.
+        self._progress = 0
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: int,
+        fn: Callable[..., Any],
+        *args: Any,
+        node: Optional[int] = None,
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` microseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.now + delay, fn, *args, node=node)
+
+    def schedule_at(
+        self,
+        time: int,
+        fn: Callable[..., Any],
+        *args: Any,
+        node: Optional[int] = None,
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` at an absolute virtual time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self.now}"
+            )
+        self._seq += 1
+        handle = EventHandle(time, self._seq, fn, args, node=node)
+        heapq.heappush(self._queue, handle)
+        if node is None:
+            heapq.heappush(self._global_index, handle)
+        else:
+            heapq.heappush(self._node_index.setdefault(node, []), handle)
+        return handle
+
+    # ------------------------------------------------------------------
+    # Cooperative clock advancement (used by node CPU slices)
+    # ------------------------------------------------------------------
+
+    def peek_next_time(self) -> int:
+        """Time of the next pending event, or FOREVER if the queue is empty.
+
+        Nothing new can be scheduled earlier than this without the clock
+        first reaching it, so a handler may safely consume CPU time up to
+        (but not past) this boundary.
+        """
+        top = self._peek_heap(self._queue)
+        if self._boundary is not None:
+            return min(top, self._boundary)
+        return top
+
+    @staticmethod
+    def _peek_heap(queue: list[EventHandle]) -> int:
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)
+        return queue[0].time if queue else FOREVER
+
+    def window_for(self, node: int, lookahead: int) -> int:
+        """How far node ``node`` may run its CPU ahead of ``now``.
+
+        Bounded by the node's own next event, any global event, any other
+        node's next event plus ``lookahead`` (the minimum cross-node
+        latency), and the active run(until=...) boundary.
+        """
+        own = self._peek_heap(self._node_index.get(node, []))
+        global_next = self._peek_heap(self._global_index)
+        any_next = self._peek_heap(self._queue)
+        window = min(own, global_next)
+        if any_next < FOREVER:
+            window = min(window, any_next + lookahead)
+        if self._boundary is not None:
+            window = min(window, self._boundary)
+        return window
+
+    def advance(self, dt: int) -> None:
+        """Advance the clock by ``dt`` from inside an event handler.
+
+        The caller must have checked :meth:`peek_next_time`; advancing past a
+        pending event would reorder history and raises ``SimulationError``.
+        """
+        if dt < 0:
+            raise SimulationError(f"cannot advance backwards (dt={dt})")
+        target = self.now + dt
+        if target > self.peek_next_time():
+            raise SimulationError(
+                f"advance({dt}) would pass pending event at "
+                f"t={self.peek_next_time()} (now={self.now})"
+            )
+        self.now = target
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def note_progress(self, time: int) -> None:
+        """Record how far a node's local CPU cursor has run."""
+        if time > self._progress:
+            self._progress = time
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    def step(self) -> bool:
+        """Process a single event.  Returns False when the queue is empty."""
+        queue = self._queue
+        while queue:
+            handle = heapq.heappop(queue)
+            if handle.cancelled:
+                continue
+            self.now = handle.time
+            fn, args = handle.fn, handle.args
+            handle.cancel()  # release references; the event is consumed
+            self.events_processed += 1
+            fn(*args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have been processed.  Returns the number of events
+        processed by this call.
+
+        ``until`` is exclusive: events scheduled at exactly ``until`` are
+        left queued, and the clock is left at ``until``.  While the run is
+        active, cooperative advancement is capped at ``until`` too, so no
+        handler can carry the clock past it.
+        """
+        if self._running:
+            raise SimulationError("World.run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        self._boundary = until
+        processed = 0
+        try:
+            while not self._stopped:
+                if max_events is not None and processed >= max_events:
+                    break
+                next_time = self.peek_next_time()
+                if next_time == FOREVER:
+                    self.now = max(self.now, min(self._progress, until)
+                                   if until is not None else self._progress)
+                    break
+                if until is not None and next_time >= until:
+                    self.now = max(self.now, until)
+                    break
+                if not self.step():
+                    break
+                processed += 1
+        finally:
+            self._boundary = None
+            self._running = False
+        return processed
+
+    def run_for(self, duration: int) -> int:
+        """Run for ``duration`` microseconds of virtual time."""
+        return self.run(until=self.now + duration)
+
+    def pending_count(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for handle in self._queue if not handle.cancelled)
+
+    def __repr__(self) -> str:
+        return f"<World now={self.now} pending={self.pending_count()}>"

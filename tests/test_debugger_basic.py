@@ -1,0 +1,274 @@
+"""Integration tests: Pilgrim debugger driving agents on a live program."""
+
+import pytest
+
+from repro import MS, SEC, AgentError, Cluster, DebuggerError, Pilgrim
+from repro.cvm import CluRecord
+
+COUNTER = """record point
+  x: int
+  y: int
+end
+printop point show_point
+proc show_point(p: point) returns string
+  return "(" + itoa(p.x) + ", " + itoa(p.y) + ")"
+end
+proc tick(n: int) returns int
+  var p: point := point{x: n, y: n * 2}
+  return p.x + p.y
+end
+proc main()
+  var total: int := 0
+  var i: int := 0
+  while i < 1000 do
+    i := i + 1
+    total := total + tick(i)
+    sleep(1000)
+  end
+  print total
+end
+"""
+
+
+def make_session(source=COUNTER, seed=0):
+    cluster = Cluster(names=["app", "debugger"], seed=seed)
+    image = cluster.load_program(source, "app")
+    proc = cluster.spawn_vm("app", image, "main")
+    dbg = Pilgrim(cluster, home="debugger")
+    return cluster, image, proc, dbg
+
+
+def test_connect_and_disconnect():
+    cluster, image, proc, dbg = make_session()
+    infos = dbg.connect("app")
+    assert infos[0]["name"] == "app"
+    assert "app" in cluster.programs
+    dbg.disconnect()
+    assert not cluster.node("app").agent.connected()
+
+
+def test_second_connect_rejected_then_forced():
+    cluster, image, proc, dbg = make_session()
+    dbg.connect("app")
+    dbg2 = Pilgrim(cluster, home="debugger")
+    with pytest.raises(AgentError, match="already active"):
+        dbg2.connect("app")
+    # Forcible connect abandons the original session (paper §3).
+    dbg2.connect("app", force=True)
+    agent = cluster.node("app").agent
+    assert agent.session_id == dbg2.session_id
+    dbg2.disconnect()
+
+
+def test_list_processes():
+    cluster, image, proc, dbg = make_session()
+    dbg.connect("app")
+    procs = dbg.processes("app")
+    names = [p["name"] for p in procs]
+    assert "main" in names
+    assert "pilgrim.agent" in names
+
+
+def test_breakpoint_by_source_line_hits_and_resumes():
+    cluster, image, proc, dbg = make_session()
+    dbg.connect("app")
+    # Line 16 is `i := i + 1` inside the loop.
+    bp = dbg.break_at("app", "app", line=16)
+    assert bp.func == "main"
+    hit = dbg.wait_for_breakpoint()
+    assert hit["proc"] == "main"
+    assert hit["line"] == 16
+    assert hit["node"] == 0
+    # The whole node halted.
+    agent = cluster.node("app").agent
+    assert agent.halted
+    # Resume; program continues and can hit the breakpoint again.
+    dbg.resume("app")
+    hit2 = dbg.wait_for_breakpoint()
+    assert hit2["line"] == 16
+    dbg.clear(bp)
+    dbg.resume("app")
+    dbg.disconnect()
+    cluster.run(until=cluster.world.now + 5 * SEC)
+    assert image.console  # program ran to completion
+    assert image.console[0] == str(sum(3 * i for i in range(1, 1001)))
+
+
+def test_backtrace_and_variables_at_breakpoint():
+    cluster, image, proc, dbg = make_session()
+    dbg.connect("app")
+    dbg.break_at("app", "app", line=17)  # i := i + 1
+    hit = dbg.wait_for_breakpoint()
+    frames = dbg.backtrace("app", hit["pid"])
+    assert frames[0]["proc"] == "main"
+    assert frames[0]["line"] == 17
+    # The program kept running while the debugger attached (this is a
+    # target-environment debugger), so assert relationships, not absolutes.
+    i_value = dbg.read_var("app", hit["pid"], "i")
+    total = dbg.read_var("app", hit["pid"], "total")
+    assert i_value >= 0
+    assert total == sum(3 * k for k in range(1, i_value + 1))
+    dbg.resume("app")
+    hit = dbg.wait_for_breakpoint()
+    assert dbg.read_var("app", hit["pid"], "i") == i_value + 1
+    assert dbg.read_var("app", hit["pid"], "total") == total + 3 * (i_value + 1)
+
+
+def test_write_variable_changes_computation():
+    cluster, image, proc, dbg = make_session()
+    dbg.connect("app")
+    bp = dbg.break_at("app", "app", line=16)
+    hit = dbg.wait_for_breakpoint()
+    # Jump the loop forward: i := 998 means only two more iterations.
+    dbg.write_var("app", hit["pid"], "i", 997)
+    dbg.write_var("app", hit["pid"], "total", 0)
+    dbg.clear(bp)
+    dbg.resume("app")
+    cluster.run(until=cluster.world.now + 60 * SEC)
+    assert image.console == [str(3 * 998 + 3 * 999 + 3 * 1000)]
+
+
+def test_single_step():
+    cluster, image, proc, dbg = make_session()
+    dbg.connect("app")
+    dbg.break_at("app", "app", line=16)
+    hit = dbg.wait_for_breakpoint()
+    state = dbg.step("app", hit["pid"])
+    regs = state["registers"]
+    assert regs["proc"] == "main"
+    # Still stopped; stepping again advances the pc.
+    state2 = dbg.step("app", hit["pid"])
+    assert state2["registers"]["pc"] != regs["pc"] or (
+        state2["registers"]["line"] != regs["line"]
+    )
+    dbg.resume("app")
+
+
+def test_display_uses_print_operation():
+    cluster, image, proc, dbg = make_session()
+    dbg.connect("app")
+    dbg.break_at("app", "app", line=11)  # tick: return p.x + p.y
+    hit = dbg.wait_for_breakpoint()
+    n = dbg.read_var("app", hit["pid"], "n")
+    text = dbg.display("app", hit["pid"], "p")
+    assert text == f"({n}, {2 * n})"
+    dbg.resume("app")
+
+
+def test_invoke_procedure_with_output():
+    cluster, image, proc, dbg = make_session()
+    dbg.connect("app")
+    result, output = dbg.invoke("app", "app", "tick", [5])
+    assert result == 15
+    assert output == []
+
+
+def test_invoke_show_point_directly():
+    cluster, image, proc, dbg = make_session()
+    dbg.connect("app")
+    result, _ = dbg.invoke(
+        "app", "app", "show_point", [CluRecord("point", {"x": 7, "y": 9})]
+    )
+    assert result == "(7, 9)"
+
+
+def test_halt_request_freezes_program():
+    cluster, image, proc, dbg = make_session()
+    dbg.connect("app")
+    dbg.halt("app")
+    agent = cluster.node("app").agent
+    assert agent.halted
+    # Nothing further happens while halted.
+    before = dict(agent.node.supervisor.processes[proc.pid].registers())
+    cluster.run_for(100 * MS)
+    after = dict(agent.node.supervisor.processes[proc.pid].registers())
+    assert before == after
+    dbg.resume("app")
+    cluster.run_for(100 * MS)
+
+
+def test_failure_event_reported():
+    source = """
+proc main()
+  sleep(5000)
+  var x: int := 1 / 0
+end
+"""
+    cluster, image, proc, dbg = make_session(source=source)
+    dbg.connect("app")
+    failure = dbg.wait_for_failure()
+    assert "division by zero" in failure["error"]
+    assert failure["name"] == "main"
+
+
+def test_failures_recorded_before_connect():
+    """Target-environment debugging: the program failed before any
+    debugger was attached; a later connect reports it (paper §1)."""
+    source = """
+proc main()
+  sleep(5000)
+  var x: int := 1 / 0
+end
+"""
+    cluster, image, proc, dbg = make_session(source=source)
+    cluster.run_for(1 * SEC)  # program crashes unattended
+    infos = dbg.connect("app")
+    failures = infos[0]["failures"]
+    assert len(failures) == 1
+    assert "division by zero" in failures[0]["error"]
+
+
+def test_agent_dormant_overhead_is_zero():
+    """With no debugger connected the agent consumes no CPU after boot."""
+    cluster, image, proc, dbg = make_session()
+    cluster.run_for(50 * MS)
+    agent_proc = cluster.node("app").agent.process
+    assert agent_proc.state.value == "waiting"  # parked on its queue
+    assert cluster.node("app").agent.requests_handled == 0
+
+
+def test_read_global_and_write_global():
+    source = """
+var counter: int := 5
+proc main()
+  while true do
+    sleep(10000)
+    counter := counter + 0
+  end
+end
+"""
+    cluster, image, proc, dbg = make_session(source=source)
+    dbg.connect("app")
+    assert dbg.read_global("app", "app", "counter") == 5
+    dbg.write_global("app", "app", "counter", 42)
+    assert dbg.read_global("app", "app", "counter") == 42
+
+
+def test_wake_process_from_semaphore_wait():
+    source = """
+proc main()
+  var s: sem := semaphore(0)
+  var got: bool := wait(s, 60000000)
+  if got then
+    print "signalled"
+  else
+    print "woken"
+  end
+end
+"""
+    cluster, image, proc, dbg = make_session(source=source)
+    dbg.connect("app")
+    cluster.run_for(50 * MS)  # main is now waiting
+    procs = dbg.processes("app")
+    pid = [p["pid"] for p in procs if p["name"] == "main"][0]
+    assert dbg.wake_process("app", pid, value=False)
+    cluster.run_for(50 * MS)
+    assert image.console == ["woken"]
+
+
+def test_bad_session_rejected():
+    cluster, image, proc, dbg = make_session()
+    dbg.connect("app")
+    dbg.session_id = 9999  # simulate a stale/guessed session id
+    with pytest.raises(AgentError, match="session"):
+        dbg.processes("app")

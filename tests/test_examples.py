@@ -1,0 +1,70 @@
+"""The examples are part of the public API surface: run each end-to-end
+and check its key output lines."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 120) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "attached, session" in out
+    assert "breakpoint: pid" in out
+    assert "req = factorial(" in out
+    assert "distributed backtrace" in out
+    assert "<rpc runtime>" in out
+    assert "program still running after detach" in out
+
+
+def test_distributed_breakpoint():
+    out = run_example("distributed_breakpoint.py")
+    assert "outcome for Q: signalled  (typical computation preserved)" in out
+    assert "outcome for Q: timed_out  (atypical: Q observed P's halt)" in out
+
+
+def test_shared_server_debugging():
+    out = run_example("shared_server_debugging.py")
+    # Naive server loses the TUID during the halt...
+    assert "mid-halt: TUID valid = False" in out
+    # ...the Figure-4 server keeps it alive.
+    assert "mid-halt: TUID valid = True" in out
+    assert "reclaims by contention: 1" in out
+
+
+def test_maybe_rpc_postmortem():
+    out = run_example("maybe_rpc_postmortem.py")
+    assert "call packet lost" in out
+    assert "reply packet lost" in out
+    assert "recent-call buffer" in out
+
+
+def test_repl_session():
+    out = run_example("repl_session.py")
+    assert "* breakpoint: node 0" in out
+    assert "j = job#" in out
+    assert "recent outcomes:" in out
+    assert "disconnected; program continues" in out
+
+
+def test_live_python_debugging():
+    out = run_example("live_python_debugging.py")
+    assert "attached; threads: ['producer', 'consumer']" in out
+    assert "breakpoint: thread 'producer'" in out
+    assert "ledger frozen = True" in out
+    assert "single step -> line" in out
+    assert "detached; program still running" in out

@@ -1,0 +1,228 @@
+"""Tests for repro.live — Pilgrim's method against real Python threads.
+
+These use wall-clock time and real sockets (localhost); timings are kept
+coarse so they are robust on loaded machines.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.live import LiveAgent, LiveDebugger, LiveDebuggerError
+from repro.live.agent import NO_DEBUGGER
+
+
+class Counters:
+    """The target program: two counting threads and a shared dict."""
+
+    def __init__(self, agent: LiveAgent):
+        self.agent = agent
+        self.values = {"a": 0, "b": 0}
+        self.stop = threading.Event()
+        self.threads = []
+
+    def loop(self, key: str) -> None:
+        self.agent.adopt_current_thread()
+        count = 0
+        while not self.stop.is_set():
+            self.agent.checkpoint()
+            count += 1
+            self.values[key] = count  # BREAK HERE
+            time.sleep(0.001)
+        self.agent.release_current_thread()
+
+    def start(self) -> None:
+        for key in ("a", "b"):
+            thread = threading.Thread(
+                target=self.loop, args=(key,), name=f"counter-{key}"
+            )
+            thread.start()
+            self.threads.append(thread)
+
+    def shutdown(self) -> None:
+        self.stop.set()
+        for thread in self.threads:
+            thread.join(timeout=5)
+
+
+BREAK_LINE = None  # computed below
+
+
+def _break_line() -> int:
+    import inspect
+
+    source, start = inspect.getsourcelines(Counters.loop)
+    for offset, line in enumerate(source):
+        if "BREAK HERE" in line:
+            return start + offset
+    raise AssertionError("marker not found")
+
+
+@pytest.fixture
+def target():
+    agent = LiveAgent()
+    program = Counters(agent)
+    program.start()
+    time.sleep(0.05)
+    yield agent, program
+    program.stop.set()
+    try:
+        agent._end_halt()
+    except Exception:
+        pass
+    program.shutdown()
+    agent.shutdown()
+
+
+def test_attach_lists_threads_and_detach_leaves_running(target):
+    agent, program = target
+    dbg = LiveDebugger(agent.address)
+    threads = dbg.connect()
+    names = {t["name"] for t in threads}
+    assert {"counter-a", "counter-b"} <= names
+    dbg.disconnect()
+    before = dict(program.values)
+    time.sleep(0.1)
+    assert program.values["a"] > before["a"]  # still running
+    dbg.close()
+
+
+def test_agent_dormant_until_connected(target):
+    agent, program = target
+    # No session: checkpoint() must not install tracing.
+    assert not agent._tracing
+    assert agent._traced == set()
+
+
+def test_breakpoint_halts_all_threads(target):
+    agent, program = target
+    dbg = LiveDebugger(agent.address)
+    dbg.connect()
+    dbg.set_breakpoint("test_live.py", _break_line())
+    hit = dbg.wait_for_breakpoint(timeout=10)
+    assert hit["func"] == "loop"
+    assert hit["line"] == _break_line()
+    # Both threads freeze (the non-trapped one parks at its next line).
+    time.sleep(0.3)
+    snapshot = dict(program.values)
+    time.sleep(0.3)
+    assert program.values == snapshot
+    assert dbg.status()["halted"] is True
+    dbg.clear_breakpoint("test_live.py", _break_line())
+    dbg.resume()
+    time.sleep(0.2)
+    assert program.values != snapshot  # running again
+    dbg.disconnect()
+    dbg.close()
+
+
+def test_backtrace_and_read_var(target):
+    agent, program = target
+    dbg = LiveDebugger(agent.address)
+    dbg.connect()
+    dbg.set_breakpoint("test_live.py", _break_line())
+    hit = dbg.wait_for_breakpoint(timeout=10)
+    frames = dbg.backtrace(hit["thread"])
+    funcs = [f["func"] for f in frames]
+    assert "loop" in funcs
+    loop_frame = funcs.index("loop")
+    count = dbg.read_var(hit["thread"], "count", frame=loop_frame)
+    key = dbg.read_var(hit["thread"], "key", frame=loop_frame)
+    assert isinstance(count, int) and count >= 1
+    assert key in ("a", "b")
+    # The counter is one ahead of the published value (break is pre-store).
+    assert count == program.values[key] + 1
+    dbg.clear_breakpoint("test_live.py", _break_line())
+    dbg.resume()
+    dbg.disconnect()
+    dbg.close()
+
+
+def test_single_step_executes_one_line(target):
+    agent, program = target
+    dbg = LiveDebugger(agent.address)
+    dbg.connect()
+    dbg.set_breakpoint("test_live.py", _break_line())
+    hit = dbg.wait_for_breakpoint(timeout=10)
+    dbg.clear_breakpoint("test_live.py", _break_line())
+    stopped = dbg.step()
+    assert stopped["event"] == "stepped"
+    assert stopped["thread"] == hit["thread"]
+    assert stopped["line"] != hit["line"]
+    # Still halted after the step.
+    assert dbg.status()["halted"] is True
+    dbg.resume()
+    dbg.disconnect()
+    dbg.close()
+
+
+def test_logical_clock_delta_grows_while_halted(target):
+    agent, program = target
+    dbg = LiveDebugger(agent.address)
+    dbg.connect()
+    status0 = dbg.status()
+    assert status0["delta"] < 0.05
+    dbg.halt()
+    time.sleep(0.3)
+    status1 = dbg.status()
+    assert status1["halted"] is True
+    assert status1["delta"] >= 0.25
+    # Logical clock is frozen: it lags real time by the delta.
+    assert status1["real_time"] - status1["logical_time"] >= 0.25
+    dbg.resume()
+    status2 = dbg.status()
+    assert status2["halted"] is False
+    assert status2["delta"] >= 0.25  # preserved after resume
+    dbg.disconnect()
+    dbg.close()
+
+
+def test_get_debuggee_status_for_servers(target):
+    """The §6.1 support procedure, live: a 'server' checks whether its
+    client is being debugged and reads the client's logical time."""
+    agent, program = target
+    debugger_addr, logical = agent.get_debuggee_status()
+    assert debugger_addr == NO_DEBUGGER
+    dbg = LiveDebugger(agent.address)
+    dbg.connect()
+    debugger_addr, logical = agent.get_debuggee_status()
+    assert debugger_addr != NO_DEBUGGER
+    dbg.halt()
+    time.sleep(0.2)
+    _addr, frozen1 = agent.get_debuggee_status()
+    time.sleep(0.2)
+    _addr, frozen2 = agent.get_debuggee_status()
+    assert abs(frozen2 - frozen1) < 0.05  # frozen while halted
+    dbg.resume()
+    dbg.disconnect()
+    dbg.close()
+
+
+def test_second_debugger_rejected_then_forcible(target):
+    agent, program = target
+    dbg1 = LiveDebugger(agent.address)
+    dbg1.connect()
+    dbg2 = LiveDebugger(agent.address)
+    with pytest.raises(LiveDebuggerError, match="already active"):
+        dbg2.connect()
+    dbg2.connect(force=True)  # forcible connect (§3)
+    assert agent.session_id == dbg2.session_id
+    # dbg1's session is dead.
+    with pytest.raises(LiveDebuggerError, match="session"):
+        dbg1.threads()
+    dbg2.disconnect()
+    dbg1.close()
+    dbg2.close()
+
+
+def test_stale_session_rejected(target):
+    agent, program = target
+    dbg = LiveDebugger(agent.address)
+    dbg.connect()
+    dbg.session_id = 999_999
+    with pytest.raises(LiveDebuggerError, match="session"):
+        dbg.threads()
+    dbg.session_id = agent.session_id
+    dbg.disconnect()
+    dbg.close()

@@ -1,0 +1,536 @@
+"""Unit tests for the Mayflower supervisor: processes, scheduling, sync."""
+
+import pytest
+
+from repro.mayflower import Node, ProcessState
+from repro.mayflower.syscalls import (
+    Cpu,
+    EnterRegion,
+    Exit,
+    ExitRegion,
+    MonitorEnter,
+    MonitorExit,
+    Now,
+    RealNow,
+    Receive,
+    Self,
+    Signal,
+    Sleep,
+    Spawn,
+    Wait,
+    monitor_wait,
+    receive,
+)
+from repro.params import Params
+from repro.sim import MS, SEC, World
+
+
+def make_node(**params):
+    world = World(seed=1)
+    node = Node(0, "n0", world, Params(**params))
+    return world, node
+
+
+def test_simple_process_runs_and_finishes():
+    world, node = make_node()
+    log = []
+
+    def body():
+        yield Cpu(100)
+        log.append((yield Now()))
+        yield Cpu(50)
+        return "done"
+
+    proc = node.spawn(body(), name="p")
+    world.run()
+    assert proc.state == ProcessState.DONE
+    assert proc.result == "done"
+    assert log and log[0] >= 100
+
+
+def test_cpu_time_is_charged():
+    world, node = make_node()
+
+    def body():
+        yield Cpu(1000)
+
+    node.spawn(body())
+    world.run()
+    assert world.now >= 1000
+
+
+def test_exit_syscall():
+    world, node = make_node()
+
+    def body():
+        yield Exit(42)
+        yield Cpu(1)  # never reached
+
+    proc = node.spawn(body())
+    world.run()
+    assert proc.state == ProcessState.DONE
+    assert proc.result == 42
+
+
+def test_two_processes_time_slice():
+    world, node = make_node(quantum=1 * MS)
+    order = []
+
+    def body(tag):
+        for _ in range(4):
+            yield Cpu(600)
+            order.append(tag)
+
+    node.spawn(body("a"))
+    node.spawn(body("b"))
+    world.run()
+    # With a 1 ms quantum and 600 us steps both processes interleave.
+    assert set(order) == {"a", "b"}
+    assert order != ["a"] * 4 + ["b"] * 4
+
+
+def test_priority_preference():
+    world, node = make_node()
+    order = []
+
+    def body(tag):
+        yield Cpu(10)
+        order.append(tag)
+
+    node.spawn(body("low"), priority=0)
+    node.spawn(body("high"), priority=5)
+    world.run()
+    assert order == ["high", "low"]
+
+
+def test_semaphore_signal_wait():
+    world, node = make_node()
+    sem = node.semaphore(name="s")
+    log = []
+
+    def waiter():
+        got = yield Wait(sem)
+        log.append(("woke", got))
+
+    def signaller():
+        yield Cpu(500)
+        yield Signal(sem)
+
+    node.spawn(waiter())
+    node.spawn(signaller())
+    world.run()
+    assert log == [("woke", True)]
+
+
+def test_semaphore_timeout():
+    world, node = make_node()
+    sem = node.semaphore(name="s")
+    log = []
+
+    def waiter():
+        got = yield Wait(sem, timeout=10 * MS)
+        log.append(got)
+
+    node.spawn(waiter())
+    world.run()
+    assert log == [False]
+    assert world.now >= 10 * MS
+
+
+def test_semaphore_initial_count():
+    world, node = make_node()
+    sem = node.semaphore(count=2, name="s")
+    log = []
+
+    def waiter(tag):
+        got = yield Wait(sem, timeout=5 * MS)
+        log.append((tag, got))
+
+    for tag in range(3):
+        node.spawn(waiter(tag))
+    world.run()
+    results = dict(log)
+    assert sum(1 for got in results.values() if got) == 2
+    assert sum(1 for got in results.values() if not got) == 1
+
+
+def test_semaphore_fifo_order():
+    world, node = make_node()
+    sem = node.semaphore(name="s")
+    woken = []
+
+    def waiter(tag):
+        yield Wait(sem)
+        woken.append(tag)
+
+    def signaller():
+        yield Sleep(1 * MS)
+        for _ in range(3):
+            yield Signal(sem)
+
+    for tag in range(3):
+        node.spawn(waiter(tag))
+    node.spawn(signaller())
+    world.run()
+    assert woken == [0, 1, 2]
+
+
+def test_critical_region_mutual_exclusion():
+    world, node = make_node()
+    region = node.region("r")
+    trace = []
+
+    def body(tag):
+        yield EnterRegion(region)
+        trace.append(("in", tag))
+        yield Cpu(2 * MS)
+        trace.append(("out", tag))
+        yield ExitRegion(region)
+
+    node.spawn(body("a"))
+    node.spawn(body("b"))
+    world.run()
+    # No interleaving inside the region.
+    assert trace in (
+        [("in", "a"), ("out", "a"), ("in", "b"), ("out", "b")],
+        [("in", "b"), ("out", "b"), ("in", "a"), ("out", "a")],
+    )
+
+
+def test_region_exit_by_non_holder_fails():
+    world, node = make_node()
+    region = node.region("r")
+
+    def bad():
+        yield ExitRegion(region)
+
+    proc = node.spawn(bad())
+    world.run()
+    assert proc.state == ProcessState.FAILED
+
+
+def test_monitor_condition_wait_signal():
+    world, node = make_node()
+    mon = node.monitor("m")
+    log = []
+
+    def consumer():
+        yield MonitorEnter(mon)
+        got = yield from monitor_wait(mon, "ready")
+        log.append(("consumer", got))
+        yield MonitorExit(mon)
+
+    def producer():
+        yield Sleep(1 * MS)
+        yield MonitorEnter(mon)
+        from repro.mayflower.syscalls import CondSignal
+
+        yield CondSignal(mon, "ready")
+        yield MonitorExit(mon)
+
+    node.spawn(consumer())
+    node.spawn(producer())
+    world.run()
+    assert log == [("consumer", True)]
+
+
+def test_message_queue_roundtrip():
+    world, node = make_node()
+    queue = node.queue("q")
+    log = []
+
+    def consumer():
+        msg = yield from receive(queue)
+        log.append(msg)
+
+    def producer():
+        yield Sleep(2 * MS)
+        queue.push({"hello": 1})
+
+    node.spawn(consumer())
+    node.spawn(producer())
+    world.run()
+    assert log == [{"hello": 1}]
+
+
+def test_message_queue_timeout():
+    world, node = make_node()
+    queue = node.queue("q")
+    log = []
+
+    def consumer():
+        msg = yield from receive(queue, timeout=3 * MS)
+        log.append(msg)
+
+    node.spawn(consumer())
+    world.run()
+    assert log == [None]
+
+
+def test_sleep_advances_logical_time():
+    world, node = make_node()
+    times = []
+
+    def body():
+        start = yield Now()
+        yield Sleep(10 * MS)
+        end = yield Now()
+        times.append(end - start)
+
+    node.spawn(body())
+    world.run()
+    assert times[0] >= 10 * MS
+    assert times[0] < 11 * MS
+
+
+def test_self_and_spawn():
+    world, node = make_node()
+    pids = []
+
+    def child():
+        me = yield Self()
+        pids.append(("child", me.pid))
+
+    def parent():
+        me = yield Self()
+        pids.append(("parent", me.pid))
+        kid = yield Spawn(child(), name="kid")
+        pids.append(("spawned", kid.pid))
+
+    node.spawn(parent())
+    world.run()
+    tags = dict(pids)
+    assert tags["spawned"] == tags["child"]
+    assert tags["parent"] != tags["child"]
+
+
+def test_process_failure_runs_failure_hook():
+    world, node = make_node()
+    failures = []
+    node.supervisor.failure_hook = lambda proc, exc: failures.append((proc.name, str(exc)))
+
+    def bad():
+        yield Cpu(10)
+        raise ValueError("boom")
+
+    proc = node.spawn(bad(), name="bad")
+    world.run()
+    assert proc.state == ProcessState.FAILED
+    assert failures == [("bad", "boom")]
+
+
+def test_creation_and_deletion_hooks():
+    world, node = make_node()
+    seen = []
+    node.supervisor.creation_hooks.append(lambda p: seen.append(("new", p.name)))
+    node.supervisor.deletion_hooks.append(lambda p: seen.append(("del", p.name)))
+
+    def body():
+        yield Cpu(1)
+
+    node.spawn(body(), name="x")
+    world.run()
+    assert ("new", "x") in seen
+    assert ("del", "x") in seen
+
+
+# ----------------------------------------------------------------------
+# Halting (paper §5.2)
+# ----------------------------------------------------------------------
+
+
+def test_halt_all_freezes_ready_processes():
+    world, node = make_node()
+    progress = []
+
+    def spinner():
+        while True:
+            yield Cpu(100)
+            progress.append(world.now)
+
+    node.spawn(spinner())
+    world.run(until=5 * MS)
+    count_at_halt = len(progress)
+    node.supervisor.halt_all()
+    world.run(until=20 * MS)
+    assert len(progress) == count_at_halt
+    node.supervisor.resume_all()
+    world.run(until=30 * MS)
+    assert len(progress) > count_at_halt
+
+
+def test_halt_freezes_semaphore_timeout():
+    """The heart of transparent halting: a frozen wait must not time out."""
+    world, node = make_node()
+    sem = node.semaphore(name="s")
+    log = []
+
+    def waiter():
+        got = yield Wait(sem, timeout=10 * MS)
+        log.append((got, world.now))
+
+    node.spawn(waiter())
+    world.run(until=2 * MS)
+    node.supervisor.halt_all()
+    # Stay halted well past the original timeout.
+    world.run(until=50 * MS)
+    assert log == []
+    node.supervisor.resume_all()
+    world.run()
+    got, when = log[0]
+    assert got is False
+    # ~8ms of timeout remained when frozen; it resumes at 50ms.
+    assert when >= 50 * MS + 7 * MS
+
+
+def test_halt_exempt_process_keeps_running():
+    world, node = make_node()
+    progress = []
+
+    def spinner():
+        while True:
+            yield Cpu(100)
+            progress.append(1)
+
+    node.spawn(spinner(), name="agentish", halt_exempt=True)
+    world.run(until=2 * MS)
+    node.supervisor.halt_all()
+    before = len(progress)
+    world.run(until=10 * MS)
+    assert len(progress) > before
+
+
+def test_signal_while_halted_delivers_on_resume():
+    world, node = make_node()
+    sem = node.semaphore(name="s")
+    log = []
+
+    def waiter():
+        got = yield Wait(sem, timeout=60 * MS)
+        log.append(got)
+
+    node.spawn(waiter())
+    world.run(until=1 * MS)
+    node.supervisor.halt_all()
+    sem.signal()  # e.g. a packet handler signalling during the halt
+    world.run(until=5 * MS)
+    assert log == []  # still halted
+    node.supervisor.resume_all()
+    world.run()
+    assert log == [True]
+
+
+def test_no_halt_region_defers_halt():
+    world, node = make_node()
+    trace = []
+
+    def allocator_user():
+        yield EnterRegion(node.heap_region)
+        yield Cpu(5 * MS)
+        trace.append("exiting region")
+        yield ExitRegion(node.heap_region)
+        trace.append("after region")
+        yield Cpu(1 * MS)
+        trace.append("ran more")
+
+    node.spawn(allocator_user())
+    world.run(until=1 * MS)  # process is inside the heap region
+    node.supervisor.halt_all()
+    world.run(until=30 * MS)
+    # It finished the region, then was halted before doing more work.
+    assert "exiting region" in trace
+    assert "ran more" not in trace
+    node.supervisor.resume_all()
+    world.run()
+    assert "ran more" in trace
+
+
+def test_spawn_during_halt_is_born_halted():
+    world, node = make_node()
+    ran = []
+
+    def child():
+        yield Cpu(10)
+        ran.append(1)
+
+    node.supervisor.halt_all()
+    node.spawn(child())
+    world.run(until=5 * MS)
+    assert ran == []
+    node.supervisor.resume_all()
+    world.run()
+    assert ran == [1]
+
+
+def test_halt_is_idempotent():
+    world, node = make_node()
+
+    def body():
+        yield Cpu(100 * MS)
+
+    node.spawn(body())
+    world.run(until=1 * MS)
+    assert node.supervisor.halt_all() == 1
+    assert node.supervisor.halt_all() == 0
+    node.supervisor.resume_all()
+    world.run()
+
+
+# ----------------------------------------------------------------------
+# Clock (paper §5.2 delta arithmetic)
+# ----------------------------------------------------------------------
+
+
+def test_logical_clock_frozen_while_halted():
+    world, node = make_node()
+    world.schedule(100 * MS, lambda: None)  # keep time flowing
+    world.run(until=10 * MS)
+    assert node.clock.logical_now() == node.clock.real_now()
+    node.clock.begin_halt()
+    frozen = node.clock.logical_now()
+    world.run(until=60 * MS)
+    assert node.clock.logical_now() == frozen
+    node.clock.end_halt()
+    assert node.clock.delta == 50 * MS
+    world.run(until=70 * MS)
+    assert node.clock.logical_now() == node.clock.real_now() - 50 * MS
+
+
+def test_clock_delta_accumulates_over_breakpoints():
+    world, node = make_node()
+    world.schedule(1 * SEC, lambda: None)
+    for _ in range(3):
+        node.clock.begin_halt()
+        world.run_for(10 * MS)
+        node.clock.end_halt()
+        world.run_for(5 * MS)
+    assert node.clock.delta == 30 * MS
+
+
+def test_clock_reset_to_real_time():
+    world, node = make_node()
+    world.schedule(1 * SEC, lambda: None)
+    node.clock.begin_halt()
+    world.run_for(20 * MS)
+    node.clock.end_halt()
+    node.clock.reset_to_real_time()
+    assert node.clock.logical_now() == node.clock.real_now()
+
+
+def test_clock_skew():
+    world = World()
+    node = Node(0, "n", world, Params(), clock_skew=500)
+    assert node.clock.real_now() == 500
+
+
+def test_node_crash_kills_processes():
+    world, node = make_node()
+
+    def body():
+        yield Cpu(100 * MS)
+
+    proc = node.spawn(body())
+    world.run(until=1 * MS)
+    node.crash()
+    assert not proc.is_live()
+    assert node.crashed

@@ -1,0 +1,478 @@
+"""Tests for the debug-aware shared servers (paper §6)."""
+
+import pytest
+
+from repro import MS, SEC, Cluster, Pilgrim
+from repro.cvm.values import CluRecord, RpcFailure
+from repro.mayflower.syscalls import Sleep
+from repro.rpc.runtime import remote_call
+from repro.servers import AotMan, FileServer, NameServer, ResourceManager
+from repro.servers.leases import LeaseTable
+from repro.servers.strategies import make_strategy
+
+
+def make_cluster(**kwargs):
+    return Cluster(names=["client", "server", "debugger"], **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Lease machinery
+# ----------------------------------------------------------------------
+
+
+def test_lease_expires_without_refresh():
+    cluster = make_cluster()
+    table = LeaseTable(cluster.node("server"))
+    lease = table.create(0, 50 * MS, make_strategy("naive"))
+    cluster.run_for(200 * MS)
+    assert not lease.alive
+    assert table.expired and table.expired[0] is lease
+    assert table.live_count() == 0
+
+
+def test_lease_survives_with_refreshes():
+    cluster = make_cluster()
+    table = LeaseTable(cluster.node("server"))
+    lease = table.create(0, 50 * MS, make_strategy("naive"))
+
+    def refresher(node):
+        for _ in range(10):
+            yield Sleep(30 * MS)
+            lease.refresh()
+
+    cluster.node("server").spawn(refresher(cluster.node("server")), name="refresher")
+    cluster.run_for(250 * MS)
+    assert lease.alive
+    cluster.run_for(300 * MS)
+    assert not lease.alive  # refresher stopped; lease eventually expired
+
+
+def test_lease_release():
+    cluster = make_cluster()
+    table = LeaseTable(cluster.node("server"))
+    lease = table.create(0, 1 * SEC, make_strategy("naive"))
+    cluster.run_for(10 * MS)
+    table.drop(lease)
+    cluster.run_for(10 * MS)
+    assert not lease.alive
+    assert table.expired == []  # released, not expired
+
+
+# ----------------------------------------------------------------------
+# Strategies under breakpoints
+# ----------------------------------------------------------------------
+
+SPIN = "proc main()\n  while true do\n    sleep(5000)\n  end\nend"
+
+
+def lease_with_client(strategy_name, timeout=100 * MS, seed=0, connect=True):
+    """A lease held for a VM client on node 'client'; returns everything
+    needed to breakpoint the client and watch the lease."""
+    cluster = make_cluster(seed=seed)
+    image = cluster.load_program(SPIN, "client")
+    cluster.spawn_vm("client", image, "main")
+    dbg = Pilgrim(cluster, home="debugger")
+    if connect:
+        dbg.connect("client")
+    strategy = make_strategy(strategy_name)
+    table = LeaseTable(cluster.node("server"))
+    lease = table.create(
+        cluster.node("client").node_id, timeout, strategy
+    )
+    return cluster, dbg, table, lease, strategy
+
+
+@pytest.mark.parametrize("strategy_name", ["naive", "fig3", "fig4"])
+def test_lease_expires_for_undisturbed_client(strategy_name):
+    cluster, dbg, table, lease, strategy = lease_with_client(strategy_name)
+    cluster.run_for(600 * MS)
+    assert not lease.alive  # never refreshed, client never breakpointed
+
+
+def test_ignore_strategy_extends_while_session_open():
+    """§6.2 'Ignoring long timeouts': the lease is extended indefinitely
+    while the client is under a debugger, even without breakpoints."""
+    cluster, dbg, table, lease, strategy = lease_with_client("ignore")
+    cluster.run_for(600 * MS)
+    assert lease.alive
+    assert strategy.extensions >= 1
+    dbg.disconnect()
+    cluster.run_for(600 * MS)
+    assert not lease.alive  # session over: timeouts bite again
+
+
+def test_ignore_strategy_expires_without_debugger():
+    cluster, dbg, table, lease, strategy = lease_with_client(
+        "ignore", connect=False
+    )
+    cluster.run_for(600 * MS)
+    assert not lease.alive
+
+
+def test_naive_lease_dies_during_breakpoint():
+    cluster, dbg, table, lease, strategy = lease_with_client("naive")
+    dbg.halt("client")
+    dbg.run_for(300 * MS)  # longer than the 100 ms lease
+    dbg.resume("client")
+    assert not lease.alive
+
+
+@pytest.mark.parametrize("strategy_name", ["fig3", "fig4", "ignore"])
+def test_debug_aware_lease_survives_breakpoint(strategy_name):
+    cluster, dbg, table, lease, strategy = lease_with_client(strategy_name)
+    cluster.run_for(20 * MS)
+    dbg.halt("client")
+    dbg.run_for(300 * MS)  # lease timeout passes entirely inside the halt
+    dbg.resume("client")
+    cluster.run_for(20 * MS)
+    assert lease.alive, f"{strategy_name} lost the lease during a breakpoint"
+    assert strategy.extensions >= 1
+    if strategy_name != "ignore":
+        # After resume the client's logical clock runs again; with no
+        # refreshes the lease expires in its remaining logical time.
+        cluster.run_for(500 * MS)
+        assert not lease.alive
+
+
+def test_fig3_pays_one_status_rpc_up_front():
+    cluster, dbg, table, lease, strategy = lease_with_client("fig3")
+    cluster.run_for(600 * MS)  # expire undisturbed
+    assert not lease.alive
+    # Fig3 calls get_debuggee_status at wait start AND on expiry.
+    assert strategy.status_rpcs == 2
+    assert strategy.convert_rpcs == 0
+
+
+def test_fig4_pays_nothing_until_expiry():
+    cluster, dbg, table, lease, strategy = lease_with_client("fig4")
+    cluster.run_for(40 * MS)  # lease running, not yet expired
+    assert strategy.status_rpcs == 0
+    cluster.run_for(600 * MS)
+    assert not lease.alive
+    assert strategy.status_rpcs == 1  # only at expiry
+    assert strategy.convert_rpcs == 0  # client was never breakpointed
+
+
+def test_fig4_uses_convert_debuggee_time_after_breakpoint():
+    cluster, dbg, table, lease, strategy = lease_with_client("fig4")
+    cluster.run_for(20 * MS)
+    dbg.halt("client")
+    dbg.run_for(250 * MS)
+    dbg.resume("client")
+    cluster.run_for(600 * MS)
+    assert strategy.convert_rpcs >= 1
+    assert strategy.extensions >= 1
+
+
+def test_extension_is_precise_not_unbounded():
+    """Fig3 extends by exactly the unserved logical remainder: after the
+    halt the lease lives for about (timeout - time served before halt)."""
+    cluster, dbg, table, lease, strategy = lease_with_client(
+        "fig3", timeout=200 * MS
+    )
+    cluster.run_for(50 * MS)  # ~50ms of the lease served
+    dbg.halt("client")
+    dbg.run_for(1 * SEC)
+    dbg.resume("client")
+    resumed_at = cluster.world.now
+    # Lease should now expire after roughly the remaining ~150 ms.
+    cluster.run_for(80 * MS)
+    assert lease.alive
+    cluster.run_for(400 * MS)
+    assert not lease.alive
+    lived_after_resume = lease.expired_at - resumed_at
+    assert 100 * MS < lived_after_resume < 300 * MS
+
+
+# ----------------------------------------------------------------------
+# Resource Manager
+# ----------------------------------------------------------------------
+
+
+def test_resource_manager_allocate_refresh_release():
+    cluster = make_cluster()
+    manager = ResourceManager(
+        cluster, "server", ["m1", "m2"], strategy="naive", timeout=100 * MS
+    )
+    results = {}
+
+    def client(node):
+        allocation = yield from remote_call(node.rpc, "resman", "allocate")
+        results["machine"] = allocation.fields["machine"]
+        for _ in range(5):
+            yield Sleep(50 * MS)
+            ok = yield from remote_call(
+                node.rpc, "resman", "refresh", [allocation.fields["machine"]]
+            )
+            results["refresh"] = ok
+        ok = yield from remote_call(
+            node.rpc, "resman", "release", [allocation.fields["machine"]]
+        )
+        results["release"] = ok
+
+    node = cluster.node("client")
+    node.spawn(client(node), name="client")
+    cluster.run_for(2 * SEC)
+    assert results["machine"] in ("m1", "m2")
+    assert results["refresh"] is True
+    assert results["release"] is True
+    assert sorted(manager.free) == ["m1", "m2"]
+    assert manager.expired_allocations == 0
+
+
+def test_resource_manager_reclaims_on_expiry():
+    cluster = make_cluster()
+    manager = ResourceManager(
+        cluster, "server", ["m1"], strategy="naive", timeout=80 * MS
+    )
+    results = {}
+
+    def client(node):
+        allocation = yield from remote_call(node.rpc, "resman", "allocate")
+        results["machine"] = allocation.fields["machine"]
+        # never refreshes
+
+    node = cluster.node("client")
+    node.spawn(client(node), name="client")
+    cluster.run_for(1 * SEC)
+    assert results["machine"] == "m1"
+    assert manager.expired_allocations == 1
+    assert manager.free == ["m1"]
+
+
+def test_resource_manager_contention_reclaim():
+    """§6.2: a debugged client's extended lease is reclaimed the moment a
+    client outside the debugging session wants the scarce resource."""
+    cluster = Cluster(names=["client", "other", "server", "debugger"])
+    manager = ResourceManager(
+        cluster, "server", ["only"], strategy="ignore", timeout=100 * MS
+    )
+    image = cluster.load_program(SPIN, "client")
+    cluster.spawn_vm("client", image, "main")
+    dbg = Pilgrim(cluster, home="debugger")
+    dbg.connect("client")
+    taken = {}
+
+    def debugged_client(node):
+        allocation = yield from remote_call(node.rpc, "resman", "allocate")
+        taken["client"] = allocation.fields["machine"]
+
+    node = cluster.node("client")
+    node.spawn(debugged_client(node), name="grabber")
+    cluster.run_for(100 * MS)
+    assert taken["client"] == "only"
+    dbg.halt("client")  # the holder is now breakpointed
+    dbg.run_for(500 * MS)  # its lease is being extended indefinitely
+
+    def other_client(node):
+        allocation = yield from remote_call(node.rpc, "resman", "allocate")
+        taken["other"] = allocation.fields
+
+    other = cluster.node("other")
+    other.spawn(other_client(other), name="other")
+    cluster.run_for(1 * SEC)
+    assert taken["other"]["ok"] is True
+    assert taken["other"]["machine"] == "only"
+    assert manager.reclaimed_by_contention == 1
+
+
+# ----------------------------------------------------------------------
+# AOTMan
+# ----------------------------------------------------------------------
+
+
+def test_tuid_expires_without_refresh():
+    cluster = make_cluster()
+    aotman = AotMan(cluster, "server", strategy="naive", lifetime=80 * MS)
+    got = {}
+
+    def client(node):
+        tuid = yield from remote_call(node.rpc, "aotman", "issue", ["read"])
+        got["tuid"] = tuid.fields["id"]
+
+    node = cluster.node("client")
+    node.spawn(client(node), name="client")
+    cluster.run_for(1 * SEC)
+    assert not aotman.is_valid(got["tuid"])
+    assert aotman.expired_tuids == 1
+
+
+def test_tuid_kept_alive_by_refresh_then_breakpoint_kills_naive():
+    cluster = make_cluster()
+    aotman = AotMan(cluster, "server", strategy="naive", lifetime=120 * MS)
+    image = cluster.load_program(
+        """
+var tuid: int := 0
+proc main()
+  var t: any := remote aotman.issue("read")
+  tuid := t.id
+  while true do
+    sleep(50000)
+    var ok: bool := remote aotman.refresh(tuid)
+  end
+end
+""",
+        "client",
+    )
+    cluster.spawn_vm("client", image, "main")
+    dbg = Pilgrim(cluster, home="debugger")
+    dbg.connect("client")
+    cluster.run_for(500 * MS)
+    tuid = image.globals["tuid"]
+    assert aotman.is_valid(tuid)  # refresh loop is doing its job
+    dbg.halt("client")
+    dbg.run_for(500 * MS)  # refreshes stop while halted
+    dbg.resume("client")
+    assert not aotman.is_valid(tuid)  # naive AOTMan dropped it
+
+
+def test_tuid_survives_breakpoint_with_fig4():
+    cluster = make_cluster()
+    aotman = AotMan(cluster, "server", strategy="fig4", lifetime=120 * MS)
+    image = cluster.load_program(
+        """
+var tuid: int := 0
+proc main()
+  var t: any := remote aotman.issue("read")
+  tuid := t.id
+  while true do
+    sleep(50000)
+    var ok: bool := remote aotman.refresh(tuid)
+  end
+end
+""",
+        "client",
+    )
+    cluster.spawn_vm("client", image, "main")
+    dbg = Pilgrim(cluster, home="debugger")
+    dbg.connect("client")
+    cluster.run_for(500 * MS)
+    tuid = image.globals["tuid"]
+    assert aotman.is_valid(tuid)
+    dbg.halt("client")
+    dbg.run_for(500 * MS)
+    assert aotman.is_valid(tuid)  # survived the whole halt
+    dbg.resume("client")
+    cluster.run_for(500 * MS)
+    assert aotman.is_valid(tuid)  # refresh loop resumed and keeps it alive
+
+
+# ----------------------------------------------------------------------
+# File server date conversion
+# ----------------------------------------------------------------------
+
+
+def test_fileserver_read_write():
+    cluster = make_cluster()
+    server = FileServer(cluster, "server")
+    results = {}
+
+    def client(node):
+        yield from remote_call(node.rpc, "filesvc", "write", ["a.txt", "hello"])
+        record = yield from remote_call(node.rpc, "filesvc", "read", ["a.txt"])
+        results["read"] = record.fields
+
+    node = cluster.node("client")
+    node.spawn(client(node), name="client")
+    cluster.run_for(1 * SEC)
+    assert results["read"]["ok"] is True
+    assert results["read"]["data"] == "hello"
+    assert results["read"]["modified"] > 0
+
+
+def test_fileserver_converts_dates_for_debugged_client():
+    """§6.2: a debugged client sees modification dates in its own logical
+    time scale."""
+    cluster = make_cluster()
+    server = FileServer(cluster, "server", convert_dates=True)
+    image = cluster.load_program(SPIN, "client")
+    cluster.spawn_vm("client", image, "main")
+    dbg = Pilgrim(cluster, home="debugger")
+    dbg.connect("client")
+
+    # Accumulate ~400 ms of halt time on the client.
+    cluster.run_for(50 * MS)
+    dbg.halt("client")
+    dbg.run_for(400 * MS)
+    dbg.resume("client")
+
+    # A file modified NOW (after the halt) in real time.
+    server.put("data.txt", "contents", cluster.node("server").clock.real_now())
+    results = {}
+
+    def reader(node):
+        record = yield from remote_call(node.rpc, "filesvc", "read", ["data.txt"])
+        results["modified"] = record.fields["modified"]
+        results["client_now"] = node.clock.logical_now()
+
+    node = cluster.node("client")
+    node.spawn(reader(node), name="reader")
+    cluster.run_for(1 * SEC)
+    assert server.conversions == 1
+    # The converted date is consistent with the client's logical clock:
+    # it must not lie in the client's logical future.
+    assert results["modified"] <= results["client_now"]
+    # And it reflects the ~400 ms of interruption.
+    delta = cluster.node("client").clock.delta
+    assert delta > 300 * MS
+
+
+def test_fileserver_no_conversion_for_undebugged_client():
+    cluster = make_cluster()
+    server = FileServer(cluster, "server", convert_dates=True)
+    server.put("x", "y", 12345)
+    results = {}
+
+    def reader(node):
+        record = yield from remote_call(node.rpc, "filesvc", "read", ["x"])
+        results["modified"] = record.fields["modified"]
+
+    node = cluster.node("client")
+    node.spawn(reader(node), name="reader")
+    cluster.run_for(1 * SEC)
+    assert results["modified"] == 12345
+    assert server.conversions == 0
+
+
+def test_fileserver_missing_file():
+    cluster = make_cluster()
+    FileServer(cluster, "server")
+    results = {}
+
+    def reader(node):
+        record = yield from remote_call(node.rpc, "filesvc", "read", ["nope"])
+        results["ok"] = record.fields["ok"]
+
+    node = cluster.node("client")
+    node.spawn(reader(node), name="reader")
+    cluster.run_for(1 * SEC)
+    assert results["ok"] is False
+
+
+# ----------------------------------------------------------------------
+# Name server
+# ----------------------------------------------------------------------
+
+
+def test_nameserver_lookup():
+    cluster = make_cluster()
+    NameServer(cluster, "server")
+    FileServer(cluster, "server")
+    results = {}
+
+    def client(node):
+        results["filesvc"] = yield from remote_call(
+            node.rpc, "namesvc", "lookup", ["filesvc"]
+        )
+        results["ghost"] = yield from remote_call(
+            node.rpc, "namesvc", "lookup", ["ghost"]
+        )
+        services = yield from remote_call(node.rpc, "namesvc", "services")
+        results["services"] = services.items
+
+    node = cluster.node("client")
+    node.spawn(client(node), name="client")
+    cluster.run_for(1 * SEC)
+    assert results["filesvc"] == cluster.node("server").node_id
+    assert results["ghost"] == -1
+    assert "namesvc" in results["services"]

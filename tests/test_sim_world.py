@@ -1,0 +1,172 @@
+"""Unit tests for the simulation kernel."""
+
+import pytest
+
+from repro.sim import MS, SimulationError, World
+from repro.sim.units import FOREVER, format_time
+
+
+def test_clock_starts_at_zero():
+    world = World()
+    assert world.now == 0
+
+
+def test_schedule_and_run_order():
+    world = World()
+    fired = []
+    world.schedule(30, lambda: fired.append("c"))
+    world.schedule(10, lambda: fired.append("a"))
+    world.schedule(20, lambda: fired.append("b"))
+    world.run()
+    assert fired == ["a", "b", "c"]
+    assert world.now == 30
+
+
+def test_simultaneous_events_fifo():
+    world = World()
+    fired = []
+    for tag in range(5):
+        world.schedule(100, fired.append, tag)
+    world.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_schedule_in_past_rejected():
+    world = World()
+    world.schedule(10, lambda: None)
+    world.run()
+    with pytest.raises(SimulationError):
+        world.schedule_at(5, lambda: None)
+    with pytest.raises(SimulationError):
+        world.schedule(-1, lambda: None)
+
+
+def test_cancel_event():
+    world = World()
+    fired = []
+    handle = world.schedule(10, lambda: fired.append("x"))
+    handle.cancel()
+    world.run()
+    assert fired == []
+    assert world.now == 0  # cancelled events do not advance time
+
+
+def test_run_until():
+    world = World()
+    fired = []
+    world.schedule(10, fired.append, 1)
+    world.schedule(50, fired.append, 2)
+    world.run(until=20)
+    assert fired == [1]
+    assert world.now == 20
+    world.run()
+    assert fired == [1, 2]
+
+
+def test_run_for():
+    world = World()
+    fired = []
+    world.schedule(10, fired.append, 1)
+    world.run_for(5)
+    assert fired == []
+    assert world.now == 5
+    world.run_for(10)
+    assert fired == [1]
+
+
+def test_max_events():
+    world = World()
+    fired = []
+    for i in range(10):
+        world.schedule(i + 1, fired.append, i)
+    world.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_events_scheduled_from_handler():
+    world = World()
+    fired = []
+
+    def first():
+        fired.append("first")
+        world.schedule(5, lambda: fired.append("second"))
+
+    world.schedule(10, first)
+    world.run()
+    assert fired == ["first", "second"]
+    assert world.now == 15
+
+
+def test_peek_next_time():
+    world = World()
+    assert world.peek_next_time() == FOREVER
+    handle = world.schedule(42, lambda: None)
+    assert world.peek_next_time() == 42
+    handle.cancel()
+    assert world.peek_next_time() == FOREVER
+
+
+def test_advance_within_boundary():
+    world = World()
+    world.schedule(100, lambda: None)
+
+    def handler():
+        world.advance(40)
+        assert world.now == 40
+        with pytest.raises(SimulationError):
+            world.advance(1000)
+
+    world.schedule(0, handler)
+    world.run(max_events=1)
+    assert world.now == 40
+
+
+def test_advance_exactly_to_boundary_allowed():
+    world = World()
+    world.schedule(100, lambda: None)
+
+    def handler():
+        world.advance(100)
+
+    world.schedule(0, handler)
+    world.run(max_events=1)
+    assert world.now == 100
+
+
+def test_stop_from_handler():
+    world = World()
+    fired = []
+    world.schedule(1, lambda: (fired.append(1), world.stop()))
+    world.schedule(2, fired.append, 2)
+    world.run()
+    assert fired == [1]
+
+
+def test_rng_deterministic():
+    a = World(seed=7)
+    b = World(seed=7)
+    assert [a.rng.random() for _ in range(5)] == [b.rng.random() for _ in range(5)]
+
+
+def test_run_not_reentrant():
+    world = World()
+
+    def handler():
+        with pytest.raises(SimulationError):
+            world.run()
+
+    world.schedule(1, handler)
+    world.run()
+
+
+def test_handle_remaining():
+    world = World()
+    handle = world.schedule(100, lambda: None)
+    assert handle.remaining(world.now) == 100
+    assert handle.remaining(150) == 0
+
+
+def test_format_time():
+    assert format_time(400) == "400us"
+    assert format_time(8 * MS) == "8.000ms"
+    assert format_time(2_500_000) == "2.500s"

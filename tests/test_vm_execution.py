@@ -1,0 +1,466 @@
+"""Integration tests: compiled CCLU programs executing on the CVM under
+the Mayflower supervisor."""
+
+import pytest
+
+from repro.cclu import compile_program
+from repro.cvm import CluArray, CluRecord, CluRuntimeError, VmExecutor
+from repro.mayflower import Node, ProcessState
+from repro.params import Params
+from repro.sim import MS, World
+
+
+def run_program(source, func="main", args=None, node=None, until=None):
+    """Compile, link to a fresh node, run to completion; returns
+    (process, image, world)."""
+    world = World(seed=0)
+    node = Node(0, "n0", world, Params())
+    program = compile_program(source)
+    image = program.link(node)
+    executor = VmExecutor(image, func, args or [])
+    process = node.spawn(executor, name=func)
+    world.run(until=until)
+    return process, image, world
+
+
+def test_arithmetic_and_print():
+    process, image, _ = run_program(
+        """
+proc main()
+  var x: int := 6 * 7
+  print x
+  print 10 / 3
+  print -7 / 2
+  print 10 % 3
+end
+"""
+    )
+    assert process.state == ProcessState.DONE
+    assert image.console == ["42", "3", "-3", "1"]
+
+
+def test_string_concat_and_str():
+    _, image, _ = run_program(
+        """
+proc main()
+  var name: string := "world"
+  print "hello " + name + " " + str(40 + 2)
+end
+"""
+    )
+    assert image.console == ["hello world 42"]
+
+
+def test_booleans_and_conditions():
+    _, image, _ = run_program(
+        """
+proc main()
+  var x: int := 5
+  if x > 3 and not (x = 4) then
+    print "big"
+  elseif x > 1 then
+    print "mid"
+  else
+    print "small"
+  end
+end
+"""
+    )
+    assert image.console == ["big"]
+
+
+def test_while_and_for_loops():
+    _, image, _ = run_program(
+        """
+proc main()
+  var total: int := 0
+  for i := 1 to 10 do
+    total := total + i
+  end
+  print total
+  var n: int := 0
+  while n < 3 do
+    n := n + 1
+  end
+  print n
+end
+"""
+    )
+    assert image.console == ["55", "3"]
+
+
+def test_recursion():
+    _, image, _ = run_program(
+        """
+proc fib(n: int) returns int
+  if n < 2 then
+    return n
+  end
+  return fib(n - 1) + fib(n - 2)
+end
+proc main()
+  print fib(12)
+end
+"""
+    )
+    assert image.console == ["144"]
+
+
+def test_records_and_fields():
+    _, image, _ = run_program(
+        """
+record point
+  x: int
+  y: int
+end
+proc main()
+  var p: point := point{x: 1, y: 2}
+  p.x := p.x + 10
+  print p.x
+  print p.y
+end
+"""
+    )
+    assert image.console == ["11", "2"]
+
+
+def test_arrays():
+    _, image, _ = run_program(
+        """
+proc main()
+  var a: array[int] := [10, 20, 30]
+  a[1] := 21
+  print a[1]
+  print len(a)
+  append(a, 40)
+  print len(a)
+  print a
+end
+"""
+    )
+    assert image.console == ["21", "3", "4", "[10, 21, 30, 40]"]
+
+
+def test_printop_used_for_display():
+    _, image, _ = run_program(
+        """
+record point
+  x: int
+  y: int
+end
+printop point show_point
+proc show_point(p: point) returns string
+  return "(" + itoa(p.x) + ", " + itoa(p.y) + ")"
+end
+proc main()
+  var p: point := point{x: 3, y: 4}
+  print p
+  print str(p) + "!"
+end
+"""
+    )
+    assert image.console == ["(3, 4)", "(3, 4)!"]
+
+
+def test_globals():
+    _, image, _ = run_program(
+        """
+var counter: int := 100
+proc bump()
+  counter := counter + 1
+end
+proc main()
+  bump()
+  bump()
+  print counter
+end
+"""
+    )
+    assert image.console == ["102"]
+
+
+def test_division_by_zero_fails_process():
+    process, _, _ = run_program(
+        """
+proc main()
+  var x: int := 1 / 0
+end
+"""
+    )
+    assert process.state == ProcessState.FAILED
+    assert "division by zero" in str(process.failure)
+
+
+def test_array_out_of_bounds_fails_process():
+    process, _, _ = run_program(
+        """
+proc main()
+  var a: array[int] := [1]
+  print a[5]
+end
+"""
+    )
+    assert process.state == ProcessState.FAILED
+
+
+def test_uninitialized_variable_fails_at_runtime():
+    process, _, _ = run_program(
+        """
+proc main()
+  var x: int
+  print x
+end
+"""
+    )
+    assert process.state == ProcessState.FAILED
+
+
+def test_semaphores_across_vm_processes():
+    _, image, _ = run_program(
+        """
+var done: sem
+proc worker(s: sem, n: int)
+  sleep(1000)
+  print "worker " + itoa(n)
+  signal(s)
+end
+proc main()
+  var s: sem := semaphore(0)
+  spawn worker(s, 1)
+  spawn worker(s, 2)
+  var ok: bool := wait(s, 100000)
+  var ok2: bool := wait(s, 100000)
+  print ok and ok2
+end
+"""
+    )
+    assert sorted(image.console[:2]) == ["worker 1", "worker 2"]
+    assert image.console[2] == "true"
+
+
+def test_semaphore_wait_timeout_in_vm():
+    _, image, _ = run_program(
+        """
+proc main()
+  var s: sem := semaphore(0)
+  var got: bool := wait(s, 5000)
+  if not got then
+    print "timed out"
+  end
+end
+"""
+    )
+    assert image.console == ["timed out"]
+
+
+def test_regions_in_vm():
+    _, image, _ = run_program(
+        """
+var shared: int := 0
+proc worker(r: region)
+  enter(r)
+  var v: int := shared
+  sleep(2000)
+  shared := v + 1
+  leave(r)
+end
+proc main()
+  var r: region := region()
+  spawn worker(r)
+  spawn worker(r)
+  sleep(50000)
+  print shared
+end
+"""
+    )
+    # With the region, the read-modify-write is atomic: result is 2.
+    assert image.console == ["2"]
+
+
+def test_unsafe_concurrency_loses_update():
+    """Undisciplined shared access (paper §5.1 mentions programs with
+    exactly this kind of bug) — the region-free version drops an update."""
+    _, image, _ = run_program(
+        """
+var shared: int := 0
+proc worker()
+  var v: int := shared
+  sleep(2000)
+  shared := v + 1
+end
+proc main()
+  spawn worker()
+  spawn worker()
+  sleep(50000)
+  print shared
+end
+"""
+    )
+    assert image.console == ["1"]
+
+
+def test_now_reads_logical_clock():
+    _, image, _ = run_program(
+        """
+proc main()
+  var t0: int := now()
+  sleep(10000)
+  var t1: int := now()
+  print t1 - t0 >= 10000
+end
+"""
+    )
+    assert image.console == ["true"]
+
+
+def test_process_result_from_main_return():
+    process, _, _ = run_program(
+        """
+proc main() returns int
+  return 99
+end
+"""
+    )
+    assert process.result == 99
+
+
+def test_rcall_without_runtime_yields_failure():
+    _, image, _ = run_program(
+        """
+proc main()
+  var r: int := remote calc.add(1, 2)
+  print failed(r)
+end
+"""
+    )
+    assert image.console == ["true"]
+
+
+def test_backtrace_shows_call_chain():
+    world = World(seed=0)
+    node = Node(0, "n0", world, Params())
+    program = compile_program(
+        """
+proc inner(n: int)
+  sleep(1000000)
+end
+proc outer(n: int)
+  inner(n + 1)
+end
+proc main()
+  outer(5)
+end
+"""
+    )
+    image = program.link(node)
+    executor = VmExecutor(image, "main", [])
+    node.spawn(executor, name="main")
+    world.run(until=10 * MS)  # inner is asleep now
+    trace = executor.backtrace()
+    names = [f["proc"] for f in trace]
+    assert names == ["inner", "outer", "main"]
+    assert trace[0]["locals"]["n"] == 6
+    assert trace[1]["locals"]["n"] == 5
+
+
+def test_spawned_process_appears_in_process_table():
+    world = World(seed=0)
+    node = Node(0, "n0", world, Params())
+    program = compile_program(
+        """
+proc child()
+  sleep(1000000)
+end
+proc main()
+  spawn child()
+end
+"""
+    )
+    image = program.link(node)
+    node.spawn(VmExecutor(image, "main", []), name="main")
+    world.run(until=50 * MS)
+    names = [p.name for p in node.supervisor.live_processes()]
+    assert "child" in names
+
+
+def test_monitors_in_cclu():
+    """Monitors with Mesa-style condition variables (paper §2)."""
+    _, image, _ = run_program(
+        """
+var m: monitor := 0
+var items: int := 0
+proc setup()
+  m := monitor()
+end
+proc producer()
+  for i := 1 to 3 do
+    sleep(5000)
+    enter(m)
+    items := items + 1
+    msignal(m, "nonempty")
+    leave(m)
+  end
+end
+proc consumer(tag: int)
+  enter(m)
+  while items = 0 do
+    var ok: bool := mwait(m, "nonempty")
+  end
+  items := items - 1
+  leave(m)
+  print "consumed " + itoa(tag)
+end
+proc main()
+  setup()
+  spawn consumer(1)
+  spawn consumer(2)
+  spawn producer()
+  sleep(500000)
+  print items
+end
+"""
+    )
+    assert sorted(image.console[:2]) == ["consumed 1", "consumed 2"]
+    assert image.console[2] == "1"  # three produced, two consumed
+
+
+def test_mbroadcast_wakes_all_waiters():
+    _, image, _ = run_program(
+        """
+var m: monitor := 0
+var woken: int := 0
+proc setup()
+  m := monitor()
+end
+proc waiter()
+  enter(m)
+  var ok: bool := mwait(m, "go")
+  woken := woken + 1
+  leave(m)
+end
+proc main()
+  setup()
+  spawn waiter()
+  spawn waiter()
+  spawn waiter()
+  sleep(20000)
+  enter(m)
+  mbroadcast(m, "go")
+  leave(m)
+  sleep(100000)
+  print woken
+end
+"""
+    )
+    assert image.console == ["3"]
+
+
+def test_monitor_type_error():
+    process, _, _ = run_program(
+        """
+proc main()
+  enter(42)
+end
+"""
+    )
+    assert process.state.value == "failed"
