@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro import Cluster, Params
+from repro import Cluster
+from repro.obs.report import render_report
 from repro.rpc.runtime import remote_call
 
 
@@ -32,11 +33,19 @@ def print_table(title: str, headers: list[str], rows: list[list]) -> None:
         print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
 
 
+def print_obs_report(world, title: str = "instrumentation summary") -> None:
+    """Print the world's :mod:`repro.obs` summary table — the supported
+    way for benchmarks to look inside a run (no private attributes)."""
+    print()
+    print(render_report(world, title=title))
+
+
 def measure_null_rpc(
     debug_support: bool = True,
     monitor: bool = False,
     payload: Optional[str] = None,
     seed: int = 0,
+    report_title: Optional[str] = None,
 ) -> int:
     """Round-trip virtual latency of one RPC between two nodes."""
     cluster = Cluster(names=["client", "server"], seed=seed)
@@ -63,4 +72,6 @@ def measure_null_rpc(
     node = cluster.node("client")
     node.spawn(caller(node), name="caller")
     cluster.run()
+    if report_title is not None:
+        print_obs_report(cluster.world, report_title)
     return out["latency"]

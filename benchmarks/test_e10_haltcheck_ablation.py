@@ -14,7 +14,7 @@ an order of magnitude when every semaphore resume / region claim pays a
 ring round trip, versus Pilgrim's zero-overhead design.
 """
 
-from repro import MS, SEC, Cluster, Params
+from repro import MS, Cluster, Params
 from repro.mayflower.syscalls import Cpu, EnterRegion, ExitRegion, Signal, Wait
 from benchmarks.common import print_table
 

@@ -19,7 +19,13 @@ def run_experiment() -> list[list]:
         ("8 KiB payload", "x" * 8192),
     ]:
         plain = measure_null_rpc(debug_support=False, payload=payload)
-        instrumented = measure_null_rpc(debug_support=True, payload=payload)
+        instrumented = measure_null_rpc(
+            debug_support=True,
+            payload=payload,
+            report_title=f"E1 obs summary: instrumented {label}"
+            if payload is None
+            else None,
+        )
         overhead = instrumented - plain
         slowdown = 100.0 * overhead / plain
         rows.append([label, plain, instrumented, overhead, f"{slowdown:.2f}%"])

@@ -15,7 +15,11 @@ from benchmarks.common import measure_null_rpc, print_table
 def run_experiment() -> dict:
     plain = measure_null_rpc(debug_support=False)
     instrumented = measure_null_rpc(debug_support=True)
-    monitored = measure_null_rpc(debug_support=False, monitor=True)
+    monitored = measure_null_rpc(
+        debug_support=False,
+        monitor=True,
+        report_title="E2 obs summary: packet-monitor run",
+    )
     return {
         "plain": plain,
         "instrumented": instrumented,

@@ -14,7 +14,7 @@ keep it; fig3's status-RPC count scales with timeouts *started* (i.e.
 with refreshes), fig4's with timeouts *expired*.
 """
 
-from repro import MS, SEC, Cluster, Pilgrim
+from repro import MS, Cluster, Pilgrim
 from repro.mayflower.syscalls import Sleep
 from repro.servers.leases import LeaseTable
 from repro.servers.strategies import make_strategy

@@ -11,7 +11,7 @@ mid-session; with the Figure-4 strategy it survives any halt, yet a
 client that genuinely forgets to refresh still loses it.
 """
 
-from repro import MS, SEC, Cluster, Pilgrim
+from repro import MS, Cluster, Pilgrim
 from repro.servers import AotMan
 from benchmarks.common import print_table
 

@@ -12,7 +12,7 @@ matches the deltas, and (c) convert_debuggee_time maps real dates to
 logical dates with bounded error.
 """
 
-from repro import MS, SEC, Cluster, Pilgrim
+from repro import MS, Cluster, Pilgrim
 from benchmarks.common import print_table
 
 SPIN = "proc main()\n  while true do\n    sleep(2000)\n  end\nend"

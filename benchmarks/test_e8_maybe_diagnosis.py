@@ -12,7 +12,7 @@ was ever seen/executed; the buffer holds exactly the ten most recent
 outcomes.
 """
 
-from repro import MS, SEC, Cluster, Pilgrim
+from repro import SEC, Cluster, Pilgrim
 from repro.rpc.runtime import remote_call
 from benchmarks.common import print_table
 

@@ -10,7 +10,7 @@ request packet and one response packet (2 Basic Blocks ≈ 7 ms floor), and
 measured latencies sit just above that floor.
 """
 
-from repro import MS, Cluster, Pilgrim
+from repro import Cluster, Pilgrim
 from repro.ring import RingTracer
 from benchmarks.common import print_table
 

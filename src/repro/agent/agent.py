@@ -32,9 +32,10 @@ from repro.cvm import instructions as ops
 from repro.cvm.image import NodeImage
 from repro.cvm.instructions import Instr
 from repro.cvm.interp import VmExecutor
-from repro.cvm.values import CluRecord, default_print, type_name_of
+from repro.cvm.values import CluRecord, default_print, printed_text, printop_for
 from repro.mayflower.process import Process, ProcessState
 from repro.mayflower.syscalls import Cpu, Receive, Wait
+from repro.obs import events as obs_ev
 from repro.rpc.marshal import MarshalError, marshal, unmarshal
 
 if TYPE_CHECKING:
@@ -76,7 +77,9 @@ class PilgrimAgent:
         self._step_done = node.semaphore(name="agent.step_done")
         self._invoke_done = node.semaphore(name="agent.invoke_done")
         node.station.register_port(rq.AGENT_PORT, self._on_packet)
-        node.supervisor.failure_hook = self._on_failure
+        # Track user-program failures via the obs bus (paper §5.2: the
+        # halt primitive is used on user program failures as well).
+        self.world.bus.subscribe(obs_ev.ProcessFailed, self._on_failure_event)
         node.agent = self
         self.process = node.spawn(
             self._body(),
@@ -302,6 +305,17 @@ class PilgrimAgent:
             self._step_over(process, executor, location, rehalt=False)
             return
         self.trapped[process.pid] = location
+        line = frame.func.line_for_pc(frame.pc)
+        self.world.bus.emit(
+            obs_ev.BreakpointHit,
+            time=self.node.supervisor.current_time(),
+            node=self.node.node_id,
+            pid=process.pid,
+            module=location[0],
+            proc=location[1],
+            pc=location[2],
+            line=line,
+        )
         self._do_halt(broadcast=True)
         self._notify(
             rq.EVENT_BREAKPOINT,
@@ -310,9 +324,13 @@ class PilgrimAgent:
                 "module": location[0],
                 "proc": location[1],
                 "pc": location[2],
-                "line": frame.func.line_for_pc(frame.pc),
+                "line": line,
             },
         )
+
+    def _on_failure_event(self, event: obs_ev.ProcessFailed) -> None:
+        if event.node == self.node.node_id:
+            self._on_failure(event.process, event.error)
 
     def _on_failure(self, process: Process, exc: BaseException) -> None:
         entry = {
@@ -587,14 +605,11 @@ class PilgrimAgent:
         value = frame.locals[name]
         module = frame.func.module
         image = self.images.get(module) or next(iter(self.images.values()), None)
-        if image is None:
-            return {"ok": True, "data": {"text": default_print(value)}}
-        printop = image.printops.get(type_name_of(value))
+        printop = printop_for(value, image.printops) if image is not None else None
         if printop is None:
             return {"ok": True, "data": {"text": default_print(value)}}
         result, _output = yield from self._invoke(image, printop, [value])
-        text = result if isinstance(result, str) else default_print(result)
-        return {"ok": True, "data": {"text": text}}
+        return {"ok": True, "data": {"text": printed_text(result)}}
 
     # ------------------------------------------------------------------
     # RPC debugging (paper §4)

@@ -88,17 +88,15 @@ class NodeImage:
         bounded, non-blocking sub-interpretation.  The agent's remote
         display path uses full procedure invocation instead.
         """
-        from repro.cvm.values import type_name_of
+        from repro.cvm.values import printed_text, printop_for
 
-        printop = self.printops.get(type_name_of(value))
+        printop = printop_for(value, self.printops)
         if printop is None:
             return default_print(value)
         from repro.cvm.interp import run_pure
 
         result = run_pure(self, printop, [value], max_instructions)
-        if not isinstance(result, str):
-            result = default_print(result)
-        return result
+        return printed_text(result)
 
     def __repr__(self) -> str:
         return f"<NodeImage {self.module} on node {self.node.node_id}>"

@@ -33,7 +33,6 @@ from repro.cvm.values import (
     CluRecord,
     CluRuntimeError,
     RpcFailure,
-    default_print,
 )
 from repro.mayflower.process import Executor, Process
 

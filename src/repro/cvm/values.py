@@ -141,6 +141,24 @@ def default_print(value: Any) -> str:
     return str(value)
 
 
+def printop_for(value: Any, printops: dict) -> Any:
+    """The user-defined print operation for ``value``'s type, or ``None``.
+
+    ``printops`` maps CLU type names to procedure names (as collected by
+    the compiler's ``printop`` declarations).
+    """
+    return printops.get(type_name_of(value))
+
+
+def printed_text(result: Any) -> str:
+    """Coerce a print operation's result to display text.
+
+    Print ops return strings; anything else (a misbehaving print op, or a
+    value printed without one) falls back to :func:`default_print`.
+    """
+    return result if isinstance(result, str) else default_print(result)
+
+
 def marshal_size(value: Any) -> int:
     """Approximate wire size in bytes of a value (for ring latency)."""
     if value is None or isinstance(value, bool):

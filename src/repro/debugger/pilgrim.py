@@ -21,10 +21,9 @@ from typing import TYPE_CHECKING, Any, Optional, Union
 
 from repro.agent import requests as rq
 from repro.cvm.image import Program
-from repro.cvm.values import CluRecord
 from repro.debugger.timelog import BreakpointLog
 from repro.rpc.marshal import MarshalError, marshal, unmarshal
-from repro.sim.units import MS, SEC
+from repro.sim.units import SEC
 
 if TYPE_CHECKING:
     from repro.cluster import Cluster
@@ -81,7 +80,12 @@ class Pilgrim:
         self.connected_nodes: list[int] = []
         self.breakpoints: dict[tuple, Breakpoint] = {}
         self.events: list[dict] = []
+        #: Interruption intervals, fed from the obs bus: the trap /
+        #: timer-freeze at the halting node opens an interval, the thaw /
+        #: resume closes it, so the totals line up with the nodes'
+        #: logical-clock deltas (paper §6.1).
         self.log = BreakpointLog()
+        self.log.attach(self.world.bus)
         self._responses: dict[int, dict] = {}
         self._seq = itertools.count(1)
         #: True while an API call is driving the simulation; arrival of a
@@ -106,8 +110,6 @@ class Pilgrim:
             self._responses[payload["seq"]] = payload
         elif payload.get("kind") == "event":
             self.events.append(payload)
-            if payload["event"] in (rq.EVENT_BREAKPOINT, rq.EVENT_FAILURE):
-                self.log.begin(self.world.now)
         if self._awaiting:
             self.world.stop()
 
@@ -297,15 +299,11 @@ class Pilgrim:
         """Continue from a breakpoint: the given node's agent steps its
         trapped processes over their traps and resumes the program,
         broadcasting resume to its peers."""
-        data = self._request(node, rq.CONTINUE, {})
-        self.log.end(self.world.now)
-        return data
+        return self._request(node, rq.CONTINUE, {})
 
     def halt(self, node: Union[int, str]) -> dict:
         """Halt the whole program, starting at ``node``."""
-        data = self._request(node, rq.HALT, {})
-        self.log.begin(self.world.now)
-        return data
+        return self._request(node, rq.HALT, {})
 
     # ------------------------------------------------------------------
     # Inspection

@@ -5,11 +5,26 @@ for each how long the program's execution was interrupted.  The sum of
 these values will be almost the same as the logical time deltas at all
 nodes of the program.  This breakpoint log is used to implement ...
 convert_debuggee_time = proc (date) returns (date)."
+
+The log is fed from the :mod:`repro.obs` bus (:meth:`BreakpointLog.attach`):
+``BreakpointHit`` / ``ProcessHalted`` / ``TimerFrozen`` open an
+interruption interval, ``ProcessResumed`` / ``TimerThawed`` close it.
+Those event types have no other subscribers, so until a debugger attaches
+they ride the bus's dormant path — the log costs nothing when nobody is
+debugging.
 """
 
 from __future__ import annotations
 
 from typing import Optional
+
+from repro.obs import events as ev
+
+#: Event types that mark the start of an interruption.  Begin/end are
+#: idempotent while an interval is open/closed, so the per-process and
+#: per-timer-set events collapse into one interval per halt.
+BEGIN_EVENTS = (ev.BreakpointHit, ev.ProcessHalted, ev.TimerFrozen)
+END_EVENTS = (ev.ProcessResumed, ev.TimerThawed)
 
 
 class BreakpointLog:
@@ -18,6 +33,32 @@ class BreakpointLog:
     def __init__(self):
         #: list of [start_real, end_real-or-None]
         self.entries: list[list] = []
+        self._bus = None
+
+    # ------------------------------------------------------------------
+    # Bus integration
+    # ------------------------------------------------------------------
+
+    def attach(self, bus) -> None:
+        """Subscribe to the halt/resume events of ``bus``."""
+        if self._bus is not None:
+            return
+        self._bus = bus
+        bus.subscribe_many(BEGIN_EVENTS, self._on_begin_event)
+        bus.subscribe_many(END_EVENTS, self._on_end_event)
+
+    def detach(self) -> None:
+        if self._bus is None:
+            return
+        self._bus.unsubscribe_many(BEGIN_EVENTS, self._on_begin_event)
+        self._bus.unsubscribe_many(END_EVENTS, self._on_end_event)
+        self._bus = None
+
+    def _on_begin_event(self, event) -> None:
+        self.begin(event.time)
+
+    def _on_end_event(self, event) -> None:
+        self.end(event.time)
 
     def begin(self, real_time: int) -> None:
         if self.entries and self.entries[-1][1] is None:

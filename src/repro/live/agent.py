@@ -111,11 +111,8 @@ class LiveAgent:
 
     def logical_now(self) -> float:
         """The program's logical clock (§5.2): real time minus halt time."""
-        now = time.time()
-        delta = self.delta
-        if self._halt_started is not None:
-            delta += now - self._halt_started
-        return now - delta
+        delta = self.delta + self._pending_halt_time()
+        return time.time() - delta
 
     def get_debuggee_status(self) -> tuple[str, float]:
         """(debugger address, logical time) — §6.1."""
@@ -192,13 +189,21 @@ class LiveAgent:
             "func": frame.f_code.co_name,
         }
 
+    def _pending_halt_time(self) -> float:
+        """Seconds spent in the current (still open) halt, if any."""
+        if self._halt_started is None:
+            return 0.0
+        return time.monotonic() - self._halt_started
+
     def _begin_halt(self) -> None:
         self.halted = True
-        self._halt_started = time.time()
+        # Monotonic: a wall-clock jump (NTP step, DST) while halted must
+        # not corrupt the logical-clock delta.
+        self._halt_started = time.monotonic()
 
     def _end_halt(self) -> None:
         if self._halt_started is not None:
-            self.delta += time.time() - self._halt_started
+            self.delta += time.monotonic() - self._halt_started
             self._halt_started = None
         self.halted = False
         self._trapped_ident = None
@@ -358,9 +363,7 @@ class LiveAgent:
 
     def _op_status(self, args: dict) -> dict:
         debugger, logical = self.get_debuggee_status()
-        pending = 0.0
-        if self._halt_started is not None:
-            pending = time.time() - self._halt_started
+        pending = self._pending_halt_time()
         return {
             "ok": True,
             "data": {

@@ -78,9 +78,13 @@ class LiveDebugger:
         self._request("clear_breakpoint", {"file": file_suffix, "line": line})
 
     def wait_for_breakpoint(self, timeout: float = 10.0) -> dict:
-        """Poll the agent until a breakpoint event arrives."""
-        deadline = time.time() + timeout
-        while time.time() < deadline:
+        """Poll the agent until a breakpoint event arrives.
+
+        Monotonic deadline: a wall-clock step mustn't stretch or cut the
+        timeout; the short sleep keeps the poll from spinning the CPU.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
             for event in self._request("poll_events"):
                 if event.get("event") == "breakpoint":
                     return event

@@ -14,7 +14,7 @@ the delta subtracted.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Union
+from typing import Callable, Optional
 
 
 class NodeClock:

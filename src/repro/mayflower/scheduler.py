@@ -28,11 +28,45 @@ from repro.mayflower.process import (
     Process,
     ProcessState,
 )
+from repro.obs import events as ev
 from repro.params import Params
 
 if TYPE_CHECKING:
     from repro.mayflower.node import Node
     from repro.sim.world import World
+
+
+class _BridgedHookList(list):
+    """Back-compat shim for the legacy ``creation_hooks`` /
+    ``deletion_hooks`` lists.
+
+    The supervisor emits ``ProcessCreated``/``ProcessDeleted`` on the
+    world's obs bus; appending the first hook lazily arms a bus
+    subscription that fans the events back out to this list, so legacy
+    callers keep working while all traffic routes through the bus.
+    """
+
+    def __init__(self, arm: Callable[[], None]):
+        super().__init__()
+        self._arm = arm
+        self._armed = False
+
+    def _ensure_armed(self) -> None:
+        if not self._armed:
+            self._armed = True
+            self._arm()
+
+    def append(self, hook) -> None:
+        self._ensure_armed()
+        super().append(hook)
+
+    def extend(self, hooks) -> None:
+        self._ensure_armed()
+        super().extend(hooks)
+
+    def insert(self, index, hook) -> None:
+        self._ensure_armed()
+        super().insert(index, hook)
 
 
 class Supervisor:
@@ -42,6 +76,7 @@ class Supervisor:
         self.node = node
         self.world = world
         self.params = params
+        self.bus = world.bus
         self.processes: dict[int, Process] = {}
         self._next_pid = 1
         self._ready: dict[int, list[Process]] = {}
@@ -53,14 +88,54 @@ class Supervisor:
         self.local_now = 0
         self._tick_event = None
         self.halt_active = False
-        #: Hook called when a process hits a trap/failure (set by the agent).
-        self.failure_hook: Optional[Callable[[Process, BaseException], None]] = None
-        #: Hooks called on process creation and deletion (paper §5.4: the
-        #: agent "must know of the existence of every process").
-        self.creation_hooks: list[Callable[[Process], None]] = []
-        self.deletion_hooks: list[Callable[[Process], None]] = []
+        #: Legacy hook for process traps/failures, bridged onto the bus's
+        #: ``ProcessFailed`` events (the agent subscribes directly).
+        self._failure_hook: Optional[
+            Callable[[Process, BaseException], None]
+        ] = None
+        self._failure_bridge_armed = False
+        #: Legacy hook lists for process creation and deletion (paper
+        #: §5.4: the agent "must know of the existence of every
+        #: process"), bridged onto ``ProcessCreated``/``ProcessDeleted``.
+        self.creation_hooks = _BridgedHookList(
+            lambda: self.bus.subscribe(ev.ProcessCreated, self._bridge_creation)
+        )
+        self.deletion_hooks = _BridgedHookList(
+            lambda: self.bus.subscribe(ev.ProcessDeleted, self._bridge_deletion)
+        )
         #: Total CPU microseconds consumed, per process and overall.
         self.cpu_consumed = 0
+
+    # ------------------------------------------------------------------
+    # Legacy hook bridges (thin back-compat shims over the bus)
+    # ------------------------------------------------------------------
+
+    @property
+    def failure_hook(self) -> Optional[Callable[[Process, BaseException], None]]:
+        return self._failure_hook
+
+    @failure_hook.setter
+    def failure_hook(
+        self, hook: Optional[Callable[[Process, BaseException], None]]
+    ) -> None:
+        self._failure_hook = hook
+        if hook is not None and not self._failure_bridge_armed:
+            self._failure_bridge_armed = True
+            self.bus.subscribe(ev.ProcessFailed, self._bridge_failure)
+
+    def _bridge_creation(self, event: ev.ProcessCreated) -> None:
+        if event.node == self.node.node_id:
+            for hook in list(self.creation_hooks):
+                hook(event.process)
+
+    def _bridge_deletion(self, event: ev.ProcessDeleted) -> None:
+        if event.node == self.node.node_id:
+            for hook in list(self.deletion_hooks):
+                hook(event.process)
+
+    def _bridge_failure(self, event: ev.ProcessFailed) -> None:
+        if self._failure_hook is not None and event.node == self.node.node_id:
+            self._failure_hook(event.process, event.error)
 
     # ------------------------------------------------------------------
     # Process lifecycle
@@ -88,8 +163,15 @@ class Supervisor:
         if bind is not None:
             bind(process)
         self.processes[pid] = process
-        for hook in self.creation_hooks:
-            hook(process)
+        self.bus.emit(
+            ev.ProcessCreated,
+            time=self.current_time(),
+            node=self.node.node_id,
+            pid=pid,
+            name=name,
+            priority=priority,
+            process=process,
+        )
         self.make_ready(process)
         return process
 
@@ -101,8 +183,15 @@ class Supervisor:
             process.failure = failure
         process.waiting_on = None
         self._cancel_timeout(process)
-        for hook in self.deletion_hooks:
-            hook(process)
+        self.bus.emit(
+            ev.ProcessDeleted,
+            time=self.current_time(),
+            node=self.node.node_id,
+            pid=process.pid,
+            name=process.name,
+            process=process,
+            failed=failure is not None,
+        )
         for callback in process.on_exit:
             callback(process)
 
@@ -248,6 +337,7 @@ class Supervisor:
         if process.state == ProcessState.READY:
             process.state = ProcessState.HALTED
             process.halted_from = ProcessState.READY
+            self._emit_halted(process)
             return True
         if process.state == ProcessState.WAITING:
             if process.timeout_event is not None:
@@ -258,8 +348,18 @@ class Supervisor:
                 process.timeout_event = None
             process.state = ProcessState.HALTED
             process.halted_from = ProcessState.WAITING
+            self._emit_halted(process)
             return True
         return False
+
+    def _emit_halted(self, process: Process) -> None:
+        self.bus.emit(
+            ev.ProcessHalted,
+            time=self.current_time(),
+            node=self.node.node_id,
+            pid=process.pid,
+            name=process.name,
+        )
 
     def resume_all(self) -> int:
         """Undo :meth:`halt_all`: restore states, re-arm frozen timeouts."""
@@ -284,10 +384,23 @@ class Supervisor:
             else:
                 self.make_ready(process)
             process.halted_from = None
+            self.bus.emit(
+                ev.ProcessResumed,
+                time=self.current_time(),
+                node=self.node.node_id,
+                pid=process.pid,
+                name=process.name,
+            )
         return resumed
 
     def unhalt_process(self, process: Process) -> bool:
-        """Release a single process from the halted set (agent stepping)."""
+        """Release a single process from the halted set (agent stepping).
+
+        Deliberately emits no ``ProcessResumed`` event: stepping releases
+        one process while the node as a whole stays halted, and a resume
+        event here would wrongly close the debugger's breakpoint-log
+        interval (only :meth:`resume_all` ends a halt).
+        """
         if process.state != ProcessState.HALTED:
             return False
         if process.halted_from == ProcessState.WAITING:
@@ -390,6 +503,7 @@ class Supervisor:
                     # action delivered a trap to the agent): stop now.
                     process.state = ProcessState.HALTED
                     process.halted_from = ProcessState.READY
+                    self._emit_halted(process)
                     break
                 if budget <= 0:
                     # Quantum expired: back of the round-robin.
@@ -455,8 +569,17 @@ class Supervisor:
 
     def _fail(self, process: Process, exc: BaseException) -> None:
         self._finish(process, failure=exc)
-        if self.failure_hook is not None:
-            self.failure_hook(process, exc)
+        # Emitted after _finish so deletion subscribers and on_exit
+        # callbacks observe the legacy ordering (hook ran last).
+        self.bus.emit(
+            ev.ProcessFailed,
+            time=self.current_time(),
+            node=self.node.node_id,
+            pid=process.pid,
+            name=process.name,
+            process=process,
+            error=exc,
+        )
 
     # ------------------------------------------------------------------
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Any, Optional
 
-from repro.mayflower.process import Process, ProcessState
+from repro.mayflower.process import Process
 
 if TYPE_CHECKING:
     from repro.mayflower.scheduler import Supervisor

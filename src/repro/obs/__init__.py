@@ -1,0 +1,36 @@
+"""The instrumentation bus (observability layer).
+
+One typed event/metrics layer under the ring, RPC runtime, supervisor,
+agent, and debugger.  The design mirrors the paper's central trade-off —
+*what instrumentation costs when nobody is watching* (the dormant agent,
+the +400 µs/RPC info blocks, the rejected packet monitor):
+
+* :mod:`repro.obs.events` — frozen dataclass event types with a common
+  header (virtual time, node, bus sequence number);
+* :mod:`repro.obs.bus` — a per-:class:`~repro.sim.world.World` pub/sub bus
+  whose dormant fast path (no subscribers for an event type) is a single
+  dict lookup plus a truthiness check, and allocates no event object;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms built as bus
+  subscribers, backing the public ``ring.total_sent`` /
+  ``rpc.calls_started``-style counters;
+* :mod:`repro.obs.report` — the per-run summary table the benchmarks
+  print instead of reaching into private attributes.
+
+Debug-only event types (``BreakpointHit``, ``ProcessHalted/Resumed``,
+``TimerFrozen/Thawed``) ship with **zero** subscribers; they stay on the
+dormant path until a debugger attaches — exactly the dormant-agent story.
+"""
+
+from repro.obs import events
+from repro.obs.bus import Bus
+from repro.obs.metrics import Metrics, install_default_metrics
+from repro.obs.report import render_report, summary_rows
+
+__all__ = [
+    "events",
+    "Bus",
+    "Metrics",
+    "install_default_metrics",
+    "render_report",
+    "summary_rows",
+]

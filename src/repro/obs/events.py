@@ -1,0 +1,202 @@
+"""Typed instrumentation events.
+
+Every event is a frozen, slotted dataclass sharing a common header:
+
+* ``time`` — virtual microseconds, stamped by the *emitter* with its own
+  notion of now (a node's local CPU cursor for in-slice emissions, the
+  world clock for event-context emissions), so event times line up with
+  what the emitting layer observed;
+* ``node`` — the node the event concerns, or ``None`` for global events;
+* ``seq`` — the bus's delivery sequence number, stamped by
+  :meth:`repro.obs.bus.Bus.emit`.  Events are only constructed when at
+  least one subscriber exists, so ``seq`` counts *materialized* events.
+
+Field types for cross-layer payloads (packets, processes, exceptions) are
+deliberately ``Any``: the obs layer sits below every other subsystem and
+imports none of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = [
+    "Event",
+    "PacketSent",
+    "PacketDelivered",
+    "PacketNacked",
+    "PacketDropped",
+    "RpcCallStarted",
+    "RpcCallRetried",
+    "RpcCallCompleted",
+    "RpcCallFailed",
+    "ProcessCreated",
+    "ProcessDeleted",
+    "ProcessFailed",
+    "ProcessHalted",
+    "ProcessResumed",
+    "BreakpointHit",
+    "TimerFrozen",
+    "TimerThawed",
+]
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class Event:
+    """Common header shared by every instrumentation event."""
+
+    time: int
+    node: Optional[int] = None
+    seq: int = 0
+
+
+# ----------------------------------------------------------------------
+# Ring (node = src for send-side events, dst for receive-side events)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class PacketSent(Event):
+    packet: Any = None
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class PacketDelivered(Event):
+    packet: Any = None
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class PacketNacked(Event):
+    """The transmitting hardware learned the destination interface did not
+    accept the packet (the NACK driving §5.2 halt-broadcast retries)."""
+
+    packet: Any = None
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class PacketDropped(Event):
+    """Lost after interface receipt — silent from the sender's viewpoint.
+
+    ``reason`` is ``"down"`` (destination crashed in flight), ``"lost"``
+    (buffer overrun / injected software loss), or ``"no_handler"`` (no
+    port handler registered at the destination).
+    """
+
+    packet: Any = None
+    reason: str = "lost"
+
+
+# ----------------------------------------------------------------------
+# RPC (node = the client node; server-side activity is visible through
+# the packet events and the server call table)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class RpcCallStarted(Event):
+    call_id: int = 0
+    service: str = ""
+    proc: str = ""
+    protocol: str = "once"
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class RpcCallRetried(Event):
+    call_id: int = 0
+    service: str = ""
+    proc: str = ""
+    retries: int = 0
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class RpcCallCompleted(Event):
+    call_id: int = 0
+    service: str = ""
+    proc: str = ""
+    protocol: str = "once"
+    #: Round-trip virtual latency as seen by the calling node.
+    latency: int = 0
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class RpcCallFailed(Event):
+    call_id: int = 0
+    service: str = ""
+    proc: str = ""
+    protocol: str = "once"
+    latency: int = 0
+    reason: str = ""
+
+
+# ----------------------------------------------------------------------
+# Supervisor (paper §5.4: the agent "must know of the existence of every
+# process")
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class ProcessCreated(Event):
+    pid: int = 0
+    name: str = ""
+    priority: int = 0
+    process: Any = None
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class ProcessDeleted(Event):
+    pid: int = 0
+    name: str = ""
+    process: Any = None
+    failed: bool = False
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class ProcessFailed(Event):
+    """Emitted after the process is finished, mirroring the legacy
+    ``failure_hook`` ordering (deletion callbacks run first)."""
+
+    pid: int = 0
+    name: str = ""
+    process: Any = None
+    #: The exception object itself, so subscribers can inspect it.
+    error: Any = None
+
+
+# ----------------------------------------------------------------------
+# Halting and breakpoints (paper §5.2, §5.5) — dormant until a debugger
+# attaches; no default subscribers.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class ProcessHalted(Event):
+    pid: int = 0
+    name: str = ""
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class ProcessResumed(Event):
+    pid: int = 0
+    name: str = ""
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class BreakpointHit(Event):
+    pid: int = 0
+    module: str = ""
+    proc: str = ""
+    pc: int = 0
+    line: Optional[int] = None
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class TimerFrozen(Event):
+    """A node's protocol timer set froze (the node halted)."""
+
+    count: int = 0
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class TimerThawed(Event):
+    count: int = 0

@@ -1,0 +1,224 @@
+"""Metric primitives built as bus subscribers.
+
+The hand-rolled ``packets_sent`` / ``calls_started``-style counters that
+used to live in each layer are now series in a per-World
+:class:`Metrics` registry, incremented by subscribers installed at world
+creation (:func:`install_default_metrics`).  The layers keep their public
+counter attributes as properties over the same series, so existing code
+and tests read identical values from one source of truth.
+
+Only *shipped* instrumentation subscribes by default — the analogue of
+the paper's always-on §4.3 RPC debug support.  Debug-session events
+(``BreakpointHit``, ``ProcessHalted/Resumed``, ``TimerFrozen/Thawed``)
+get no default subscribers and ride the dormant fast path until a
+debugger attaches.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.obs import events as ev
+from repro.obs.bus import Bus
+
+Label = Union[int, str, None]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class LabeledCounter:
+    """A counter with a per-label breakdown (labels are node ids here)."""
+
+    __slots__ = ("name", "total", "_by_label")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.total = 0
+        self._by_label: dict = {}
+
+    def inc(self, label: Label, amount: int = 1) -> None:
+        self.total += amount
+        self._by_label[label] = self._by_label.get(label, 0) + amount
+
+    def get(self, label: Label) -> int:
+        return self._by_label.get(label, 0)
+
+    def by_label(self) -> dict:
+        return dict(self._by_label)
+
+    def __repr__(self) -> str:
+        return f"<LabeledCounter {self.name} total={self.total}>"
+
+
+class Gauge:
+    """A value that can go up and down (e.g. in-flight calls)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def set(self, value: int) -> None:
+        self.value = value
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: int = 1) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """Streaming summary of an observed distribution (count/sum/min/max)."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def observe(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.0f}>"
+
+
+Series = Union[Counter, LabeledCounter, Gauge, Histogram]
+
+
+class Metrics:
+    """Registry of named metric series for one world."""
+
+    __slots__ = ("_series",)
+
+    def __init__(self) -> None:
+        self._series: dict[str, Series] = {}
+
+    def _get(self, name: str, cls) -> Series:
+        series = self._series.get(name)
+        if series is None:
+            series = cls(name)
+            self._series[name] = series
+        elif not isinstance(series, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(series).__name__}, not {cls.__name__}"
+            )
+        return series
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def labeled(self, name: str) -> LabeledCounter:
+        return self._get(name, LabeledCounter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def series(self) -> dict[str, Series]:
+        return dict(self._series)
+
+    def snapshot(self) -> dict[str, object]:
+        """Name -> plain value (ints for counters/gauges, dict for
+        histograms), convenient for assertions and reports."""
+        out: dict[str, object] = {}
+        for name, series in sorted(self._series.items()):
+            if isinstance(series, (Counter, Gauge)):
+                out[name] = series.value
+            elif isinstance(series, LabeledCounter):
+                out[name] = series.total
+            else:
+                out[name] = {
+                    "count": series.count,
+                    "mean": series.mean,
+                    "min": series.min,
+                    "max": series.max,
+                }
+        return out
+
+    def __repr__(self) -> str:
+        return f"<Metrics series={sorted(self._series)}>"
+
+
+def install_default_metrics(bus: Bus, metrics: Metrics) -> None:
+    """Subscribe the shipped counters/gauges/histograms to ``bus``.
+
+    Called once per world.  These replace the per-layer hand-rolled
+    counters; the layers expose them back through properties.
+    """
+    sent = metrics.labeled("ring.packets_sent")
+    delivered = metrics.labeled("ring.packets_delivered")
+    dropped = metrics.counter("ring.packets_dropped")
+    nacked = metrics.counter("ring.packets_nacked")
+    bus.subscribe(ev.PacketSent, lambda e: sent.inc(e.node))
+    bus.subscribe(ev.PacketDelivered, lambda e: delivered.inc(e.node))
+    bus.subscribe(ev.PacketDropped, lambda e: dropped.inc())
+    bus.subscribe(ev.PacketNacked, lambda e: nacked.inc())
+
+    started = metrics.labeled("rpc.calls_started")
+    completed = metrics.labeled("rpc.calls_completed")
+    failed = metrics.labeled("rpc.calls_failed")
+    retransmits = metrics.counter("rpc.retransmits")
+    in_flight = metrics.gauge("rpc.calls_in_flight")
+    latency = metrics.histogram("rpc.latency_us")
+
+    def _on_started(e: ev.RpcCallStarted) -> None:
+        started.inc(e.node)
+        in_flight.inc()
+
+    def _on_completed(e: ev.RpcCallCompleted) -> None:
+        completed.inc(e.node)
+        in_flight.dec()
+        latency.observe(e.latency)
+
+    def _on_failed(e: ev.RpcCallFailed) -> None:
+        failed.inc(e.node)
+        in_flight.dec()
+
+    bus.subscribe(ev.RpcCallStarted, _on_started)
+    bus.subscribe(ev.RpcCallCompleted, _on_completed)
+    bus.subscribe(ev.RpcCallFailed, _on_failed)
+    bus.subscribe(ev.RpcCallRetried, lambda e: retransmits.inc())
+
+    created = metrics.labeled("proc.created")
+    deleted = metrics.labeled("proc.deleted")
+    proc_failed = metrics.labeled("proc.failed")
+    bus.subscribe(ev.ProcessCreated, lambda e: created.inc(e.node))
+    bus.subscribe(ev.ProcessDeleted, lambda e: deleted.inc(e.node))
+    bus.subscribe(ev.ProcessFailed, lambda e: proc_failed.inc(e.node))
+    # Deliberately NOT subscribed: BreakpointHit, ProcessHalted/Resumed,
+    # TimerFrozen/Thawed — dormant until a debugger attaches.

@@ -1,0 +1,59 @@
+"""Per-run instrumentation summary.
+
+One table, rendered from the world's metrics registry and bus, that the
+benchmarks (and anyone else) read instead of poking at private
+attributes of the ring / RPC runtimes / supervisors.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import Counter, Gauge, Histogram, LabeledCounter
+
+
+def summary_rows(world) -> list[list[str]]:
+    """``[metric, value, detail]`` rows for every series plus bus totals.
+
+    ``world`` is anything with ``bus``, ``metrics``, ``now`` and
+    ``events_processed`` attributes (i.e. :class:`repro.sim.world.World`).
+    """
+    rows: list[list[str]] = [
+        ["sim.virtual_time_us", str(world.now), ""],
+        ["sim.events_processed", str(world.events_processed), ""],
+        ["obs.events_delivered", str(world.bus.events_emitted), ""],
+    ]
+    for name, series in sorted(world.metrics.series().items()):
+        if isinstance(series, LabeledCounter):
+            detail = " ".join(
+                f"node{label}={count}"
+                for label, count in sorted(series.by_label().items())
+            )
+            rows.append([name, str(series.total), detail])
+        elif isinstance(series, (Counter, Gauge)):
+            rows.append([name, str(series.value), ""])
+        elif isinstance(series, Histogram):
+            if series.count:
+                detail = (
+                    f"mean={series.mean:.0f} min={series.min} max={series.max}"
+                )
+            else:
+                detail = ""
+            rows.append([name, str(series.count), detail])
+    return rows
+
+
+def render_report(world, title: str = "instrumentation summary") -> str:
+    """Aligned plain-text table of :func:`summary_rows`."""
+    headers = ["metric", "value", "detail"]
+    rows = summary_rows(world)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        f"== {title} ==",
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -19,12 +19,19 @@ busy for ``params.ring_tx_serialization`` per packet, so a burst of N sends
 from one station lands at t + k * 3.5 ms for k = 1..N — exactly the
 arithmetic behind "we could be confident of contacting only two nodes"
 (paper §5.2, reproduced as experiment E3).
+
+Instrumentation: every packet outcome is emitted on the world's
+:mod:`repro.obs` bus (``PacketSent/Delivered/Nacked/Dropped``); the public
+``total_*`` and per-station counters are properties over the metric
+series those events feed.  The packet monitor (§4.2 ablation) and the
+:class:`RingTracer` are plain bus subscribers.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.obs import events as ev
 from repro.params import Params
 from repro.ring.packets import (
     TRACE_DELIVERED,
@@ -55,8 +62,14 @@ class Station:
         self._ports: dict[str, PortHandler] = {}
         #: Time at which the transmitter becomes free again.
         self.tx_free_at = 0
-        self.packets_sent = 0
-        self.packets_received = 0
+
+    @property
+    def packets_sent(self) -> int:
+        return self.ring._sent.get(self.address)
+
+    @property
+    def packets_received(self) -> int:
+        return self.ring._delivered.get(self.address)
 
     def register_port(self, port: str, handler: PortHandler) -> None:
         """Attach a software handler for packets addressed to ``port``."""
@@ -104,10 +117,8 @@ class Ring:
     def __init__(self, world: "World", params: Optional[Params] = None):
         self.world = world
         self.params = params or Params()
+        self.bus = world.bus
         self.stations: dict[int, Station] = {}
-        #: Trace subscribers: fn(TraceRecord).  The packet-monitor RPC
-        #: debugging design (E2) and post-mortem tools (E8) hook in here.
-        self.trace_hooks: list[Callable[[TraceRecord], None]] = []
         #: Optional per-packet drop predicates for targeted fault injection.
         #: Returning True drops the packet silently (software-level loss).
         self.drop_filters: list[DropFilter] = []
@@ -116,10 +127,28 @@ class Ring:
         #: Targeted fault injection: predicates that force a hardware NACK
         #: for matching packets (complements drop_filters' silent loss).
         self.nack_filters: list[DropFilter] = []
-        self.total_sent = 0
-        self.total_delivered = 0
-        self.total_dropped = 0
-        self.total_nacked = 0
+        metrics = world.metrics
+        self._sent = metrics.labeled("ring.packets_sent")
+        self._delivered = metrics.labeled("ring.packets_delivered")
+        self._dropped = metrics.counter("ring.packets_dropped")
+        self._nacked = metrics.counter("ring.packets_nacked")
+
+    # Public counters, backed by the obs metric series.
+    @property
+    def total_sent(self) -> int:
+        return self._sent.total
+
+    @property
+    def total_delivered(self) -> int:
+        return self._delivered.total
+
+    @property
+    def total_dropped(self) -> int:
+        return self._dropped.value
+
+    @property
+    def total_nacked(self) -> int:
+        return self._nacked.value
 
     def attach(self, node: "Node") -> Station:
         """Create and register the station for a node."""
@@ -142,9 +171,7 @@ class Ring:
         tx_start = max(now, station.tx_free_at)
         tx_time = self._tx_serialization(packet)
         station.tx_free_at = tx_start + tx_time
-        station.packets_sent += 1
-        self.total_sent += 1
-        self._trace(TRACE_SENT, packet, at=now)
+        self.bus.emit(ev.PacketSent, time=now, node=packet.src, packet=packet)
 
         dst_station = self.stations.get(packet.dst)
         dst_down = dst_station is None or dst_station.node.crashed
@@ -157,8 +184,7 @@ class Ring:
         if hardware_nack:
             # The transmitting hardware learns of non-receipt when the
             # minipacket returns — i.e. by the end of transmission.
-            self.total_nacked += 1
-            self._trace(TRACE_NACKED, packet)
+            self.bus.emit(ev.PacketNacked, time=now, node=packet.src, packet=packet)
             if on_nack is not None:
                 self.world.schedule_at(
                     station.tx_free_at, on_nack, packet, node=packet.src
@@ -169,24 +195,29 @@ class Ring:
         self.world.schedule_at(delivery_time, self._deliver, packet, node=packet.dst)
 
     def _deliver(self, packet: BasicBlock) -> None:
+        now = self.world.now
         station = self.stations.get(packet.dst)
         if station is None or station.node.crashed:
             # Went down in flight: silent from the sender's viewpoint.
-            self.total_dropped += 1
-            self._trace(TRACE_DROPPED, packet)
+            self.bus.emit(
+                ev.PacketDropped, time=now, node=packet.dst, packet=packet,
+                reason="down",
+            )
             return
         if self._should_drop(packet):
-            self.total_dropped += 1
-            self._trace(TRACE_DROPPED, packet)
+            self.bus.emit(
+                ev.PacketDropped, time=now, node=packet.dst, packet=packet,
+                reason="lost",
+            )
             return
         handler = station.handler_for(packet.port)
         if handler is None:
-            self.total_dropped += 1
-            self._trace(TRACE_NO_HANDLER, packet)
+            self.bus.emit(
+                ev.PacketDropped, time=now, node=packet.dst, packet=packet,
+                reason="no_handler",
+            )
             return
-        station.packets_received += 1
-        self.total_delivered += 1
-        self._trace(TRACE_DELIVERED, packet)
+        self.bus.emit(ev.PacketDelivered, time=now, node=packet.dst, packet=packet)
         handler(packet)
 
     # ------------------------------------------------------------------
@@ -209,24 +240,44 @@ class Ring:
             + extra_kb * self.params.ring_per_kb_latency
         )
 
-    def _trace(self, event: str, packet: BasicBlock, at: Optional[int] = None) -> None:
-        if not self.trace_hooks:
-            return
-        when = at if at is not None else self.world.now
-        record = TraceRecord(time=when, event=event, packet=packet)
-        for hook in self.trace_hooks:
-            hook(record)
-
     def __repr__(self) -> str:
         return f"<Ring stations={sorted(self.stations)} sent={self.total_sent}>"
 
 
 class RingTracer:
-    """Convenience trace collector (drop-in for ``ring.trace_hooks``)."""
+    """Trace collector: subscribes to the packet events and renders them
+    as the legacy :class:`TraceRecord` stream."""
+
+    _DROP_EVENTS = {"no_handler": TRACE_NO_HANDLER}
 
     def __init__(self, ring: Ring):
+        self.ring = ring
         self.records: list[TraceRecord] = []
-        ring.trace_hooks.append(self.records.append)
+        bus = ring.bus
+        bus.subscribe(ev.PacketSent, self._on_sent)
+        bus.subscribe(ev.PacketDelivered, self._on_delivered)
+        bus.subscribe(ev.PacketNacked, self._on_nacked)
+        bus.subscribe(ev.PacketDropped, self._on_dropped)
+
+    def detach(self) -> None:
+        bus = self.ring.bus
+        bus.unsubscribe(ev.PacketSent, self._on_sent)
+        bus.unsubscribe(ev.PacketDelivered, self._on_delivered)
+        bus.unsubscribe(ev.PacketNacked, self._on_nacked)
+        bus.unsubscribe(ev.PacketDropped, self._on_dropped)
+
+    def _on_sent(self, event: ev.PacketSent) -> None:
+        self.records.append(TraceRecord(event.time, TRACE_SENT, event.packet))
+
+    def _on_delivered(self, event: ev.PacketDelivered) -> None:
+        self.records.append(TraceRecord(event.time, TRACE_DELIVERED, event.packet))
+
+    def _on_nacked(self, event: ev.PacketNacked) -> None:
+        self.records.append(TraceRecord(event.time, TRACE_NACKED, event.packet))
+
+    def _on_dropped(self, event: ev.PacketDropped) -> None:
+        trace_event = self._DROP_EVENTS.get(event.reason, TRACE_DROPPED)
+        self.records.append(TraceRecord(event.time, trace_event, event.packet))
 
     def events_for(self, packet_id: int) -> list[str]:
         return [r.event for r in self.records if r.packet.packet_id == packet_id]

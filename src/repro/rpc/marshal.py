@@ -10,7 +10,7 @@ string | any | array[T] | <record name>``.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from repro.cvm.values import CluArray, CluRecord, CluRuntimeError, marshal_size
 

@@ -11,16 +11,23 @@ We implement it anyway, as the ablation of experiment E2: attaching a
 :class:`PacketMonitor` to a node's runtime both (a) reconstructs per-call
 state machines from the raw packet stream and (b) charges the
 `rpc_monitor_packet_cost` that models the duplicated protocol work.
+
+The monitor is a pure subscriber of the world's :mod:`repro.obs` bus
+(``PacketSent`` / ``PacketDelivered``).  The state transition itself is
+the standalone :func:`observe_packet`, so it can be replayed offline from
+any recorded packet stream — the regression test drives it both live and
+from a replay and asserts identical state machines.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from repro.ring.packets import TRACE_DELIVERED, TRACE_SENT, TraceRecord
+from repro.obs import events as ev
 
 if TYPE_CHECKING:
     from repro.ring.network import Ring
+    from repro.ring.packets import BasicBlock
     from repro.rpc.runtime import RpcRuntime
 
 
@@ -50,6 +57,43 @@ class MonitoredCall:
         }
 
 
+def observe_packet(
+    calls: dict[int, MonitoredCall], packet: "BasicBlock", at: int
+) -> Optional[MonitoredCall]:
+    """Fold one observed RPC packet into the per-call state machines.
+
+    Pure with respect to everything but ``calls``: replaying the same
+    packet sequence reconstructs the same table.  Returns the touched
+    call, or ``None`` for packets without a call id.
+    """
+    payload = packet.payload
+    call_id = payload.get("call_id")
+    if call_id is None:
+        return None
+    call = calls.get(call_id)
+    if call is None:
+        call = MonitoredCall(call_id)
+        calls[call_id] = call
+        call.first_seen = at
+    call.last_seen = at
+    if packet.kind == "rpc_call":
+        call.call_packets += 1
+        call.service = payload.get("service", call.service)
+        call.proc = payload.get("proc", call.proc)
+        call.protocol = payload.get("protocol", call.protocol)
+        if call.call_packets == 1:
+            call.state = "call_sent"
+        else:
+            call.state = "retransmitting"
+    else:
+        call.reply_packets += 1
+        if payload.get("status") == "ok":
+            call.state = "completed"
+        else:
+            call.state = "failed"
+    return call
+
+
 class PacketMonitor:
     """Driver-hook monitor attached to one node's view of the ring."""
 
@@ -58,51 +102,27 @@ class PacketMonitor:
         self.runtime = runtime
         self.node_id = runtime.node.node_id
         self.calls: dict[int, MonitoredCall] = {}
-        ring.trace_hooks.append(self._on_trace)
+        self._bus = ring.bus
+        self._bus.subscribe(ev.PacketSent, self._on_packet_event)
+        self._bus.subscribe(ev.PacketDelivered, self._on_packet_event)
         runtime.monitor = self  # switches on the per-packet cost
 
     def detach(self) -> None:
-        if self._on_trace in self.ring.trace_hooks:
-            self.ring.trace_hooks.remove(self._on_trace)
+        self._bus.unsubscribe(ev.PacketSent, self._on_packet_event)
+        self._bus.unsubscribe(ev.PacketDelivered, self._on_packet_event)
         if self.runtime.monitor is self:
             self.runtime.monitor = None
 
     # ------------------------------------------------------------------
 
-    def _on_trace(self, record: TraceRecord) -> None:
-        packet = record.packet
+    def _on_packet_event(self, event) -> None:
+        packet = event.packet
         if packet.kind not in ("rpc_call", "rpc_reply"):
             return
         # The driver hook sees packets this node sends or receives.
         if self.node_id not in (packet.src, packet.dst):
             return
-        if record.event not in (TRACE_SENT, TRACE_DELIVERED):
-            return
-        payload = packet.payload
-        call_id = payload.get("call_id")
-        if call_id is None:
-            return
-        call = self.calls.get(call_id)
-        if call is None:
-            call = MonitoredCall(call_id)
-            self.calls[call_id] = call
-            call.first_seen = record.time
-        call.last_seen = record.time
-        if packet.kind == "rpc_call":
-            call.call_packets += 1
-            call.service = payload.get("service", call.service)
-            call.proc = payload.get("proc", call.proc)
-            call.protocol = payload.get("protocol", call.protocol)
-            if call.call_packets == 1:
-                call.state = "call_sent"
-            else:
-                call.state = "retransmitting"
-        else:
-            call.reply_packets += 1
-            if payload.get("status") == "ok":
-                call.state = "completed"
-            else:
-                call.state = "failed"
+        observe_packet(self.calls, packet, event.time)
 
     # ------------------------------------------------------------------
 

@@ -32,11 +32,11 @@ from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
 from repro.cvm.values import RpcFailure
 from repro.mayflower.syscalls import Call, Cpu, Receive
+from repro.obs import events as ev
 from repro.rpc.debug import (
     STATE_CALL_SENT,
     STATE_COMPLETED,
     STATE_FAILED,
-    STATE_MARSHALLING,
     STATE_REPLY_RECEIVED,
     STATE_RETRANSMITTING,
     ClientCallRecord,
@@ -91,9 +91,16 @@ class RpcRuntime:
         self.world = node.world
         self.params = node.params
         self.registry = registry
+        self.bus = node.world.bus
+        metrics = node.world.metrics
+        self._started = metrics.labeled("rpc.calls_started")
+        self._completed = metrics.labeled("rpc.calls_completed")
+        self._failed = metrics.labeled("rpc.calls_failed")
         #: Paper §4.3 instrumentation: on by default (it ships in the
         #: normal build); experiment E1 turns it off to measure the cost.
-        self.debug_support = True
+        #: Toggling it subscribes/unsubscribes the recent-call buffer on
+        #: the bus (see the ``debug_support`` property below).
+        self._debug_support = False
         #: The rejected §4.2 packet-monitor design; experiment E2 enables
         #: it to show the ~2x slow-down.
         self.monitor = None
@@ -118,11 +125,53 @@ class RpcRuntime:
         self._dispatcher: Optional["Process"] = None
         self._exempt_queue = node.queue("rpc.dispatch.exempt")
         self._exempt_dispatcher: Optional["Process"] = None
-        self.calls_started = 0
-        self.calls_completed = 0
-        self.calls_failed = 0
         node.rpc = self
         node.station.register_port(RPC_PORT, self._on_packet)
+        self.debug_support = True
+
+    # ------------------------------------------------------------------
+    # Counters (properties over the obs metric series)
+    # ------------------------------------------------------------------
+
+    @property
+    def calls_started(self) -> int:
+        return self._started.get(self.node.node_id)
+
+    @property
+    def calls_completed(self) -> int:
+        return self._completed.get(self.node.node_id)
+
+    @property
+    def calls_failed(self) -> int:
+        return self._failed.get(self.node.node_id)
+
+    # ------------------------------------------------------------------
+    # Debug support toggle (paper §4.3)
+    # ------------------------------------------------------------------
+
+    @property
+    def debug_support(self) -> bool:
+        return self._debug_support
+
+    @debug_support.setter
+    def debug_support(self, enabled: bool) -> None:
+        enabled = bool(enabled)
+        if enabled == self._debug_support:
+            return
+        self._debug_support = enabled
+        if enabled:
+            self.bus.subscribe(ev.RpcCallCompleted, self._record_outcome)
+            self.bus.subscribe(ev.RpcCallFailed, self._record_outcome)
+        else:
+            self.bus.unsubscribe(ev.RpcCallCompleted, self._record_outcome)
+            self.bus.unsubscribe(ev.RpcCallFailed, self._record_outcome)
+
+    def _record_outcome(self, event) -> None:
+        """Feed the cyclic recent-call buffer from the bus (paper §4.3)."""
+        if event.node == self.node.node_id:
+            self.recent_calls.record(
+                event.call_id, not isinstance(event, ev.RpcCallFailed)
+            )
 
     # ------------------------------------------------------------------
     # Cost model helpers
@@ -240,7 +289,6 @@ class RpcRuntime:
             raise MarshalError(f"unknown RPC protocol {protocol!r}")
         self._next_seq += 1
         call_id = (self.node.node_id << 20) | self._next_seq
-        self.calls_started += 1
 
         info = make_info_block(process.pid, f"{service}.{proc}", call_id, protocol)
         record = ClientCallRecord(
@@ -248,6 +296,15 @@ class RpcRuntime:
             self.node.supervisor.current_time(),
         )
         self.client_table[call_id] = record
+        self.bus.emit(
+            ev.RpcCallStarted,
+            time=record.started_at,
+            node=self.node.node_id,
+            call_id=call_id,
+            service=service,
+            proc=proc,
+            protocol=protocol,
+        )
 
         supervisor = self.node.supervisor
         if executor is not None:
@@ -323,6 +380,15 @@ class RpcRuntime:
             return
         record.info_block["retries"] += 1
         record.info_block["state"] = STATE_RETRANSMITTING
+        self.bus.emit(
+            ev.RpcCallRetried,
+            time=self.node.supervisor.current_time(),
+            node=self.node.node_id,
+            call_id=record.call_id,
+            service=record.service,
+            proc=record.proc,
+            retries=record.info_block["retries"],
+        )
         self.node.station.send(
             target,
             RPC_PORT,
@@ -357,12 +423,18 @@ class RpcRuntime:
         failed = isinstance(value, RpcFailure)
         record.outcome = value.reason if failed else "ok"
         record.info_block["state"] = STATE_FAILED if failed else STATE_COMPLETED
-        if failed:
-            self.calls_failed += 1
-        else:
-            self.calls_completed += 1
-        if self.debug_support:
-            self.recent_calls.record(record.call_id, not failed)
+        now = self.node.supervisor.current_time()
+        self.bus.emit(
+            ev.RpcCallFailed if failed else ev.RpcCallCompleted,
+            time=now,
+            node=self.node.node_id,
+            call_id=record.call_id,
+            service=record.service,
+            proc=record.proc,
+            protocol=record.protocol,
+            latency=max(0, now - record.started_at),
+            **({"reason": value.reason} if failed else {}),
+        )
         self.client_table.pop(record.call_id, None)
         self.client_history.append(record)
         if len(self.client_history) > 64:

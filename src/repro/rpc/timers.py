@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
+from repro.obs import events as ev
+
 if TYPE_CHECKING:
     from repro.sim.world import World
 
@@ -90,6 +92,9 @@ class TimerSet:
                 handle.event.cancel()
                 handle.event = None
                 count += 1
+        # A freeze marks the start of a node halt; the debugger's
+        # breakpoint log subscribes to this (dormant otherwise).
+        self.world.bus.emit(ev.TimerFrozen, time=now, node=self.node, count=count)
         return count
 
     def thaw(self) -> int:
@@ -107,4 +112,5 @@ class TimerSet:
                     now + remaining, self._fire, handle, node=self.node
                 )
                 count += 1
+        self.world.bus.emit(ev.TimerThawed, time=now, node=self.node, count=count)
         return count

@@ -20,6 +20,8 @@ import heapq
 import random
 from typing import Any, Callable, Optional
 
+from repro.obs.bus import Bus
+from repro.obs.metrics import Metrics, install_default_metrics
 from repro.sim.units import FOREVER
 
 
@@ -102,6 +104,14 @@ class World:
     def __init__(self, seed: int = 0):
         self.now: int = 0
         self.rng = random.Random(seed)
+        #: The instrumentation bus: every layer emits typed events here
+        #: (see :mod:`repro.obs`).  Event types with no subscribers cost
+        #: one dict lookup per emit.
+        self.bus = Bus()
+        #: The world's metric registry; the shipped counters subscribe to
+        #: the bus at birth and back the layers' public counter properties.
+        self.metrics = Metrics()
+        install_default_metrics(self.bus, self.metrics)
         self._queue: list[EventHandle] = []
         #: Per-node index heaps (same handles) for window computation.
         self._node_index: dict[int, list[EventHandle]] = {}

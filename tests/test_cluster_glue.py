@@ -78,7 +78,7 @@ def test_cluster_clock_skews():
 def test_strategies_tolerate_clock_skew():
     """A lease for an undebugged-but-connected client must not be
     perturbed by clock skew within the §6.1 tolerance."""
-    from repro import Pilgrim, SEC
+    from repro import Pilgrim
     from repro.servers.leases import LeaseTable
     from repro.servers.strategies import make_strategy
 

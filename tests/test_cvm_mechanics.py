@@ -7,9 +7,7 @@ from repro.cclu import compile_program
 from repro.cvm import (
     CluRecord,
     CluRuntimeError,
-    FuncCode,
     Instr,
-    NodeImage,
     VmExecutor,
     run_pure,
 )

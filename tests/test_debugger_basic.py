@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import MS, SEC, AgentError, Cluster, DebuggerError, Pilgrim
+from repro import MS, SEC, AgentError, Cluster, Pilgrim
 from repro.cvm import CluRecord
 
 COUNTER = """record point

@@ -1,8 +1,6 @@
 """Integration tests for the distributed features: cross-node halting,
 time consistency, cross-node backtraces, and the Figure 2 race."""
 
-import pytest
-
 from repro import MS, SEC, Cluster, Pilgrim
 from repro.params import Params
 from repro.sim.units import US
@@ -221,8 +219,6 @@ def test_halt_broadcast_is_serial_and_timed():
 
     # Send the halt request raw (not via the synchronous helper) so we can
     # observe the instant each node halts, including n0 itself.
-    import itertools as _it
-
     dbg.home.station.send(
         0,
         "agent",

@@ -1,7 +1,5 @@
 """Unit tests for the Mayflower supervisor: processes, scheduling, sync."""
 
-import pytest
-
 from repro.mayflower import Node, ProcessState
 from repro.mayflower.syscalls import (
     Cpu,
@@ -11,8 +9,6 @@ from repro.mayflower.syscalls import (
     MonitorEnter,
     MonitorExit,
     Now,
-    RealNow,
-    Receive,
     Self,
     Signal,
     Sleep,

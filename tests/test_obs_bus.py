@@ -1,0 +1,298 @@
+"""Tests for the repro.obs instrumentation bus, metrics, and its wiring."""
+
+from dataclasses import dataclass
+from typing import Any, ClassVar, Optional
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.debugger import Pilgrim
+from repro.obs import Bus, Metrics, events as ev, install_default_metrics
+from repro.rpc import PacketMonitor, remote_call
+from repro.rpc.monitor import MonitoredCall
+from repro.sim import World
+
+
+# ----------------------------------------------------------------------
+# Bus mechanics
+# ----------------------------------------------------------------------
+
+
+def test_subscribe_emit_delivers_typed_event():
+    bus = Bus()
+    seen = []
+    bus.subscribe(ev.PacketSent, seen.append)
+    returned = bus.emit(ev.PacketSent, time=7, node=2, packet="pkt")
+    assert len(seen) == 1
+    event = seen[0]
+    assert event is returned
+    assert isinstance(event, ev.PacketSent)
+    assert (event.time, event.node, event.packet) == (7, 2, "pkt")
+    assert event.seq == 1  # bus stamps delivery order
+
+
+def test_subscribers_run_in_subscription_order():
+    bus = Bus()
+    order = []
+    bus.subscribe(ev.PacketSent, lambda e: order.append("first"))
+    bus.subscribe(ev.PacketSent, lambda e: order.append("second"))
+    bus.subscribe(ev.PacketSent, lambda e: order.append("third"))
+    bus.emit(ev.PacketSent, time=0)
+    assert order == ["first", "second", "third"]
+
+
+def test_unsubscribe_stops_delivery_and_restores_dormancy():
+    bus = Bus()
+    seen = []
+    fn = bus.subscribe(ev.PacketSent, seen.append)
+    assert bus.has_subscribers(ev.PacketSent)
+    assert bus.unsubscribe(ev.PacketSent, fn)
+    assert not bus.has_subscribers(ev.PacketSent)
+    bus.emit(ev.PacketSent, time=0)
+    assert seen == []
+    # A second unsubscribe is a harmless no-op.
+    assert not bus.unsubscribe(ev.PacketSent, fn)
+
+
+def test_subscription_is_per_type():
+    bus = Bus()
+    sent, delivered = [], []
+    bus.subscribe(ev.PacketSent, sent.append)
+    bus.subscribe(ev.PacketDelivered, delivered.append)
+    bus.emit(ev.PacketSent, time=1)
+    bus.emit(ev.PacketDelivered, time=2)
+    bus.emit(ev.PacketDropped, time=3)  # nobody listens
+    assert len(sent) == 1 and len(delivered) == 1
+
+
+def test_subscriber_may_unsubscribe_during_delivery():
+    bus = Bus()
+    seen = []
+
+    def once(event):
+        seen.append(event)
+        bus.unsubscribe(ev.PacketSent, once)
+
+    bus.subscribe(ev.PacketSent, once)
+    bus.emit(ev.PacketSent, time=1)
+    bus.emit(ev.PacketSent, time=2)
+    assert len(seen) == 1
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class _Probe(ev.Event):
+    """Test-only event that counts its own constructions."""
+
+    constructed: ClassVar[list] = []
+
+    def __post_init__(self):
+        _Probe.constructed.append(self)
+
+
+def test_dormant_emit_never_constructs_the_event():
+    """The tentpole's cost contract: a zero-subscriber emit is a dict
+    lookup plus a truthiness check — the event object is never built."""
+    _Probe.constructed.clear()
+    bus = Bus()
+    for _ in range(100):
+        assert bus.emit(_Probe, time=0, node=1) is None
+    assert _Probe.constructed == []
+    assert bus.events_emitted == 0  # dormant emits are uncounted
+
+    # With one subscriber the same call materializes exactly one event.
+    bus.subscribe(_Probe, lambda e: None)
+    bus.emit(_Probe, time=0, node=1)
+    assert len(_Probe.constructed) == 1
+    assert bus.events_emitted == 1
+
+
+def test_events_are_immutable():
+    bus = Bus()
+    bus.subscribe(ev.PacketSent, lambda e: None)
+    event = bus.emit(ev.PacketSent, time=1, node=0)
+    with pytest.raises(Exception):
+        event.time = 99
+
+
+# ----------------------------------------------------------------------
+# Metrics aggregation
+# ----------------------------------------------------------------------
+
+
+def test_default_metrics_aggregate_emitted_events():
+    bus, metrics = Bus(), Metrics()
+    install_default_metrics(bus, metrics)
+
+    bus.emit(ev.PacketSent, time=1, node=0, packet=None)
+    bus.emit(ev.PacketSent, time=2, node=0, packet=None)
+    bus.emit(ev.PacketSent, time=3, node=1, packet=None)
+    bus.emit(ev.PacketDelivered, time=4, node=1, packet=None)
+    bus.emit(ev.PacketDropped, time=5, node=1, reason="lost")
+    bus.emit(ev.PacketNacked, time=6, node=0)
+
+    sent = metrics.labeled("ring.packets_sent")
+    assert sent.total == 3
+    assert sent.get(0) == 2 and sent.get(1) == 1
+    assert sent.by_label() == {0: 2, 1: 1}
+    assert metrics.counter("ring.packets_dropped").value == 1
+    assert metrics.counter("ring.packets_nacked").value == 1
+
+    bus.emit(ev.RpcCallStarted, time=10, node=0, call_id=1)
+    bus.emit(ev.RpcCallStarted, time=11, node=0, call_id=2)
+    assert metrics.gauge("rpc.calls_in_flight").value == 2
+    bus.emit(ev.RpcCallCompleted, time=20, node=0, call_id=1, latency=100)
+    bus.emit(ev.RpcCallRetried, time=21, node=0, call_id=2, retries=1)
+    bus.emit(ev.RpcCallFailed, time=30, node=0, call_id=2, latency=300, reason="down")
+    assert metrics.gauge("rpc.calls_in_flight").value == 0
+    assert metrics.labeled("rpc.calls_started").get(0) == 2
+    assert metrics.labeled("rpc.calls_completed").get(0) == 1
+    assert metrics.labeled("rpc.calls_failed").get(0) == 1
+    assert metrics.counter("rpc.retransmits").value == 1
+
+    latency = metrics.histogram("rpc.latency_us")
+    assert latency.count == 1 and latency.mean == 100.0
+
+    snap = metrics.snapshot()
+    assert snap["ring.packets_sent"] == 3
+    assert snap["rpc.latency_us"]["count"] == 1
+
+
+def test_histogram_statistics():
+    hist = Metrics().histogram("h")
+    for value in (10, 30, 20):
+        hist.observe(value)
+    assert (hist.count, hist.min, hist.max) == (3, 10, 30)
+    assert hist.mean == 20.0
+
+
+def test_metric_name_type_collision_raises():
+    metrics = Metrics()
+    metrics.counter("x")
+    with pytest.raises(TypeError):
+        metrics.gauge("x")
+
+
+def test_world_owns_bus_and_metrics():
+    world = World(seed=1)
+    assert isinstance(world.bus, Bus)
+    assert isinstance(world.metrics, Metrics)
+    # The shipped metrics are subscribed from birth ...
+    assert world.bus.has_subscribers(ev.PacketSent)
+    assert world.bus.has_subscribers(ev.RpcCallCompleted)
+    # ... but debug-session events stay dormant.
+    for dormant in (
+        ev.BreakpointHit,
+        ev.ProcessHalted,
+        ev.ProcessResumed,
+        ev.TimerFrozen,
+        ev.TimerThawed,
+    ):
+        assert not world.bus.has_subscribers(dormant)
+
+
+def test_debug_events_dormant_until_pilgrim_attaches():
+    cluster = Cluster(names=["a", "b", "debugger"])
+    assert not cluster.world.bus.has_subscribers(ev.BreakpointHit)
+    Pilgrim(cluster, home="debugger")
+    assert cluster.world.bus.has_subscribers(ev.BreakpointHit)
+    assert cluster.world.bus.has_subscribers(ev.TimerFrozen)
+
+
+# ----------------------------------------------------------------------
+# Monitor regression: the bus-fed PacketMonitor must reconstruct the same
+# state machines as the legacy trace-hook algorithm.
+# ----------------------------------------------------------------------
+
+
+def _legacy_observe(calls: dict, packet: Any, at: int) -> None:
+    """The pre-bus trace-hook transition logic, embedded verbatim so the
+    test fails if the bus conversion ever drifts from it."""
+    payload = packet.payload
+    call_id = payload.get("call_id")
+    if call_id is None:
+        return
+    call = calls.get(call_id)
+    if call is None:
+        call = MonitoredCall(call_id)
+        calls[call_id] = call
+        call.first_seen = at
+    call.last_seen = at
+    if packet.kind == "rpc_call":
+        call.call_packets += 1
+        call.service = payload.get("service", call.service)
+        call.proc = payload.get("proc", call.proc)
+        call.protocol = payload.get("protocol", call.protocol)
+        call.state = "call_sent" if call.call_packets == 1 else "retransmitting"
+    else:
+        call.reply_packets += 1
+        call.state = "completed" if payload.get("status") == "ok" else "failed"
+
+
+def _run_monitored_workload(record: Optional[list] = None) -> PacketMonitor:
+    """A workload with a clean call, a retransmission, and a failure."""
+    cluster = Cluster(names=["client", "server"])
+    cluster.rpc("server").export_native("svc", {"ping": lambda ctx: None})
+    monitor = PacketMonitor(cluster.ring, cluster.rpc("client"))
+    if record is not None:
+        node_id = monitor.node_id
+
+        def recorder(event):
+            packet = event.packet
+            if packet.kind in ("rpc_call", "rpc_reply") and node_id in (
+                packet.src,
+                packet.dst,
+            ):
+                record.append((event.time, packet))
+
+        cluster.world.bus.subscribe(ev.PacketSent, recorder)
+        cluster.world.bus.subscribe(ev.PacketDelivered, recorder)
+
+    dropped = []
+
+    def drop_first_call(packet):
+        if packet.kind == "rpc_call" and not dropped:
+            dropped.append(packet.packet_id)
+            return True
+        return False
+
+    cluster.ring.drop_filters.append(drop_first_call)
+
+    def caller(node):
+        yield from remote_call(node.rpc, "svc", "ping")  # retransmitted
+        yield from remote_call(node.rpc, "svc", "missing")  # fails
+
+    node = cluster.node("client")
+    node.spawn(caller(node), name="caller")
+    cluster.run()
+    assert dropped  # the retransmission path really ran
+    return monitor
+
+
+def test_packet_monitor_matches_legacy_replay():
+    recorded: list = []
+    monitor = _run_monitored_workload(record=recorded)
+
+    legacy: dict = {}
+    for at, packet in recorded:
+        _legacy_observe(legacy, packet, at)
+
+    assert legacy.keys() == monitor.calls.keys() and legacy
+    for call_id, legacy_call in legacy.items():
+        live_call = monitor.calls[call_id]
+        assert live_call.describe() == legacy_call.describe()
+        assert live_call.first_seen == legacy_call.first_seen
+        assert live_call.last_seen == legacy_call.last_seen
+    states = sorted(c.state for c in monitor.calls.values())
+    assert states == ["completed", "failed"]
+    retransmitted = [c for c in monitor.calls.values() if c.call_packets > 1]
+    assert retransmitted  # the dropped first call forced a resend
+
+
+def test_packet_monitor_detach_stops_observation():
+    monitor = _run_monitored_workload()
+    observed = dict(monitor.calls)
+    monitor.detach()
+    assert monitor.runtime.monitor is None
+    bus = monitor.ring.world.bus
+    bus.emit(ev.PacketSent, time=0, node=0, packet=None)
+    assert monitor.calls == observed

@@ -1,7 +1,5 @@
 """Unit tests for the Pilgrim REPL command layer."""
 
-import pytest
-
 from repro import Cluster, Pilgrim
 from repro.debugger.repl import PilgrimRepl, parse_duration, parse_value
 

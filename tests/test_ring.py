@@ -1,7 +1,5 @@
 """Unit tests for the Cambridge Ring model."""
 
-import pytest
-
 from repro.mayflower import Node
 from repro.params import Params
 from repro.ring import (

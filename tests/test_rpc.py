@@ -4,7 +4,7 @@ import pytest
 
 from repro.cluster import Cluster
 from repro.cvm import CluArray, CluRecord, RpcFailure
-from repro.mayflower.syscalls import Cpu, Sleep
+from repro.mayflower.syscalls import Sleep
 from repro.params import Params
 from repro.rpc import (
     MarshalError,
@@ -15,7 +15,7 @@ from repro.rpc import (
     remote_call,
     unmarshal,
 )
-from repro.sim import MS, SEC
+from repro.sim import MS
 
 ADDER = """
 proc add(a: int, b: int) returns int

@@ -1,8 +1,6 @@
 """Deeper scheduler tests: quanta, priorities, parallel node timing, and
 the supervisor's debugging primitives."""
 
-import pytest
-
 from repro.mayflower import Node, ProcessState
 from repro.mayflower.syscalls import Cpu, Now, Sleep, Wait
 from repro.params import Params

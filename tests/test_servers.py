@@ -3,7 +3,6 @@
 import pytest
 
 from repro import MS, SEC, Cluster, Pilgrim
-from repro.cvm.values import CluRecord, RpcFailure
 from repro.mayflower.syscalls import Sleep
 from repro.rpc.runtime import remote_call
 from repro.servers import AotMan, FileServer, NameServer, ResourceManager

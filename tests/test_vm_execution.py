@@ -1,10 +1,8 @@
 """Integration tests: compiled CCLU programs executing on the CVM under
 the Mayflower supervisor."""
 
-import pytest
-
 from repro.cclu import compile_program
-from repro.cvm import CluArray, CluRecord, CluRuntimeError, VmExecutor
+from repro.cvm import VmExecutor
 from repro.mayflower import Node, ProcessState
 from repro.params import Params
 from repro.sim import MS, World
