@@ -1,0 +1,148 @@
+"""E12 — recovery times under fault injection (reproduction-only).
+
+The paper's fault story is qualitative: agents survive "the machine
+being debugged crashing" and the debugger must not wedge when a node
+stops answering (§5.2's bounded NACK retransmission is the template).
+This experiment quantifies the reproduction's recovery paths in virtual
+time:
+
+* **reboot -> service answering** — from the ``NodeRebooted`` event to
+  the first exactly-once call completing against the fresh runtime
+  (bounded by the client's 40 ms retransmission clock plus one round
+  trip);
+* **partition heal -> call completes** — same bound, for a call that
+  spent the cut retransmitting into hardware NACKs;
+* **crash -> debugger declares the node down** — the retry/backoff
+  budget: (retries + 1) x per-attempt timeout plus the backoff sleeps;
+* **reboot -> session reattached** — forcible re-CONNECT plus re-sent
+  peer sets, a handful of round trips.
+"""
+
+from repro import (
+    MS,
+    SEC,
+    Cluster,
+    FaultPlan,
+    Nemesis,
+    Pilgrim,
+    UnreachableNodeError,
+)
+from repro.cvm.values import RpcFailure
+from repro.obs import events as ev
+from repro.rpc.runtime import remote_call
+from benchmarks.common import print_table
+
+SPIN = "proc main()\n  while true do\n    sleep(5000)\n  end\nend"
+
+
+def _measure_reboot_recovery() -> int:
+    """NodeRebooted -> first exactly-once call served by the new boot."""
+    cluster = Cluster(names=["client", "server", "debugger"], seed=0)
+    cluster.rpc("server").export_native("svc", {"op": lambda ctx: None})
+    world = cluster.world
+    marks: dict[str, int] = {}
+    world.bus.subscribe(
+        ev.NodeRebooted, lambda e: marks.setdefault("rebooted_at", e.time)
+    )
+    out: dict[str, int] = {}
+
+    def caller(node):
+        while "first_ok" not in out:
+            result = yield from remote_call(node.rpc, "svc", "op", [])
+            if "rebooted_at" in marks and not isinstance(result, RpcFailure):
+                out["first_ok"] = node.clock.real_now()
+
+    client = cluster.node("client")
+    client.spawn(caller(client), name="caller")
+    Nemesis(cluster, (FaultPlan()
+                      .crash(at=100 * MS, node="server")
+                      .reboot(at=260 * MS, node="server")))
+    cluster.run(until=5 * SEC)
+    return out["first_ok"] - marks["rebooted_at"]
+
+
+def _measure_heal_recovery() -> int:
+    """Partition healed -> the retransmitting call completes."""
+    cluster = Cluster(names=["client", "server", "debugger"], seed=0)
+    cluster.rpc("server").export_native("svc", {"op": lambda ctx: None})
+    world = cluster.world
+    marks: dict[str, int] = {}
+    world.bus.subscribe(
+        ev.FaultHealed, lambda e: marks.setdefault("healed_at", e.time)
+    )
+    out: dict[str, int] = {}
+
+    def caller(node):
+        result = yield from remote_call(node.rpc, "svc", "op", [])
+        assert not isinstance(result, RpcFailure)
+        out["done"] = node.clock.real_now()
+
+    client = cluster.node("client")
+    client.spawn(caller(client), name="caller")
+    Nemesis(cluster, FaultPlan().partition(
+        at=1 * MS,
+        groups=[[client.node_id], [cluster.node("server").node_id]],
+        duration=150 * MS,
+    ))
+    cluster.run(until=5 * SEC)
+    return out["done"] - marks["healed_at"]
+
+
+def _measure_detection_and_reattach() -> tuple[int, int]:
+    """Crash -> declared down; then reboot -> session reattached."""
+    cluster = Cluster(names=["app", "debugger"], seed=0)
+    image = cluster.load_program(SPIN, "app")
+    cluster.spawn_vm("app", image, "main")
+    dbg = Pilgrim(cluster, home="debugger")
+    dbg.connect("app")
+    world = cluster.world
+
+    cluster.node("app").crash()
+    start = world.now
+    declared_down = False
+    try:
+        dbg.processes("app")
+    except UnreachableNodeError:
+        declared_down = True
+    assert declared_down, "crashed node was never declared down"
+    detection = world.now - start
+
+    cluster.node("app").reboot()
+    start = world.now
+    dbg.reattach("app")
+    reattach = world.now - start
+    assert dbg.processes("app")  # session is live again
+    return detection, reattach
+
+
+def run_experiment() -> list[list]:
+    reboot_us = _measure_reboot_recovery()
+    heal_us = _measure_heal_recovery()
+    detection_us, reattach_us = _measure_detection_and_reattach()
+    return [
+        ["reboot -> service answering", f"{reboot_us / 1000:.1f}ms",
+         "retransmit clock (40ms) + round trip"],
+        ["partition heal -> call completes", f"{heal_us / 1000:.1f}ms",
+         "retransmit clock (40ms) + round trip"],
+        ["crash -> debugger declares down", f"{detection_us / 1000:.1f}ms",
+         "(retries+1) x attempt timeout + backoffs"],
+        ["reboot -> session reattached", f"{reattach_us / 1000:.1f}ms",
+         "forcible CONNECT + SET_PEERS round trips"],
+    ]
+
+
+def test_e12_recovery_times(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E12: recovery times under fault injection (virtual time)",
+        ["path", "recovery time", "dominated by"],
+        rows,
+    )
+    values = {row[0]: float(row[1].rstrip("ms")) for row in rows}
+    # Service paths recover within one retransmission period + round trip.
+    assert values["reboot -> service answering"] <= 60.0
+    assert values["partition heal -> call completes"] <= 60.0
+    # Detection spends the full retry budget: 3 x 2 s attempts + backoffs.
+    assert 6000.0 <= values["crash -> debugger declares down"] <= 7000.0
+    # Reattach is a handful of agent round trips (~7 ms each).
+    assert values["reboot -> session reattached"] <= 50.0

@@ -24,7 +24,13 @@ Layers (bottom up): :mod:`repro.sim` (event kernel), :mod:`repro.mayflower`
 """
 
 from repro.cluster import Cluster
-from repro.debugger.pilgrim import AgentError, DebuggerError, Pilgrim
+from repro.debugger.pilgrim import (
+    AgentError,
+    DebuggerError,
+    Pilgrim,
+    UnreachableNodeError,
+)
+from repro.faults import FaultPlan, Nemesis
 from repro.params import DEFAULT_PARAMS, Params
 from repro.sim.units import MS, SEC, US
 
@@ -35,6 +41,9 @@ __all__ = [
     "Pilgrim",
     "AgentError",
     "DebuggerError",
+    "UnreachableNodeError",
+    "FaultPlan",
+    "Nemesis",
     "Params",
     "DEFAULT_PARAMS",
     "US",

@@ -200,6 +200,7 @@ class PilgrimAgent:
                 "name": self.node.name,
                 "modules": sorted(self.images),
                 "failures": list(self.failure_log),
+                "epoch": self.node.epoch,
             },
         }
 
@@ -229,6 +230,12 @@ class PilgrimAgent:
     def _op_set_peers(self, args: dict) -> dict:
         self.peers = [n for n in args["nodes"] if n != self.node.node_id]
         return {"ok": True, "data": None}
+
+    def detach(self) -> None:
+        """Silence this agent permanently (used when its node reboots:
+        the fresh boot builds a fresh agent, and this one must stop
+        reacting to bus events against the new supervisor)."""
+        self.world.bus.unsubscribe(obs_ev.ProcessFailed, self._on_failure_event)
 
     # ------------------------------------------------------------------
     # Halting (paper §5.2)

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from repro.agent.agent import PilgrimAgent
+from repro.agent.requests import DEBUG_SERVICE
 from repro.cclu import compile_program
 from repro.cvm.image import NodeImage, Program
 from repro.cvm.interp import VmExecutor
@@ -58,6 +59,7 @@ class Cluster:
             if agents:
                 # Every node has the agent linked in, dormant (paper §3).
                 PilgrimAgent(node)
+            node.reboot_hooks.append(self._rewire_after_reboot)
             self.nodes.append(node)
 
     # ------------------------------------------------------------------
@@ -94,6 +96,7 @@ class Cluster:
         node = self.node(which)
         image = program.link(node)
         image.rpc_hook = node.rpc.vm_rcall
+        node.images.append(image)
         if node.agent is not None:
             node.agent.register_image(image)
         return image
@@ -111,6 +114,43 @@ class Cluster:
         node = self.node(which)
         executor = VmExecutor(image, func, args or [])
         return node.spawn(executor, name=name or func, priority=priority)
+
+    def reboot(self, which: Union[int, str]) -> int:
+        """Crash (if needed) and reboot one node; returns its new epoch."""
+        return self.node(which).reboot()
+
+    def _rewire_after_reboot(self, node: Node, old_rpc, old_agent) -> None:
+        """Reboot hook (installed on every node): rebuild the RPC runtime
+        and agent on the fresh supervisor.
+
+        The old layers are silenced first — the dead runtime's recent-call
+        buffer and the dead agent's failure watcher must not keep reacting
+        to bus events against the new boot.  Exported services carry over
+        (same implementations, re-registered exactly as before), matching
+        a real boot sequence that re-runs the export calls; the agent's
+        own debug service is skipped because the fresh agent re-exports
+        it.  Program images stay linked but nothing is respawned.
+        """
+        had_debug_support = True
+        if old_rpc is not None:
+            had_debug_support = old_rpc._debug_support
+            old_rpc.debug_support = False
+        if old_agent is not None:
+            old_agent.detach()
+        runtime = RpcRuntime(node, self.registry)
+        if old_rpc is not None:
+            runtime.debug_support = had_debug_support
+            for name, impl in old_rpc._services.items():
+                if name != DEBUG_SERVICE:
+                    runtime.reinstall(impl)
+        if old_agent is not None:
+            agent = PilgrimAgent(node)
+            for image in node.images:
+                image.rpc_hook = runtime.vm_rcall
+                agent.register_image(image)
+        else:
+            for image in node.images:
+                image.rpc_hook = runtime.vm_rcall
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         return self.world.run(until=until, max_events=max_events)

@@ -9,6 +9,7 @@ from repro.debugger.pilgrim import (
     Breakpoint,
     DebuggerError,
     Pilgrim,
+    UnreachableNodeError,
 )
 from repro.debugger.timelog import BreakpointLog
 
@@ -17,6 +18,7 @@ __all__ = [
     "AgentError",
     "Breakpoint",
     "DebuggerError",
+    "UnreachableNodeError",
     "Pilgrim",
     "BreakpointLog",
 ]

@@ -35,11 +35,41 @@ _session_counter = itertools.count(1)
 
 
 class DebuggerError(Exception):
-    """A debugger-side failure (timeout, protocol error)."""
+    """A debugger-side failure (timeout, protocol error).
+
+    Where the failure concerns a particular node, the exception carries
+    the node's name and address, the debugger's reachability verdict
+    (``up`` / ``suspect`` / ``down``), and the per-attempt retry history
+    (send time, timeout, backoff) so recovery code and error reports
+    need not reconstruct them.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        node: Optional[str] = None,
+        address: Optional[int] = None,
+        state: Optional[str] = None,
+        attempts: Optional[list] = None,
+    ):
+        super().__init__(message)
+        self.node = node
+        self.address = address
+        self.state = state
+        self.attempts = attempts if attempts is not None else []
 
 
 class AgentError(DebuggerError):
     """The agent rejected a request."""
+
+
+class UnreachableNodeError(DebuggerError):
+    """Every retry of a request timed out: the node is declared down.
+
+    The node may be crashed, rebooting, or partitioned away; the session
+    survives — other nodes remain debuggable and the node can be
+    re-adopted with :meth:`Pilgrim.reattach` once it answers again.
+    """
 
 
 class Breakpoint:
@@ -78,6 +108,14 @@ class Pilgrim:
         self.home = cluster.node(home)
         self.session_id = 0
         self.connected_nodes: list[int] = []
+        #: Reachability verdict per node address: ``up`` after any reply
+        #: (including agent errors — a rejection proves liveness),
+        #: ``suspect`` after a timed-out attempt, ``down`` once retries
+        #: are exhausted.
+        self.reachability: dict[int, str] = {}
+        #: Boot epoch each agent reported at connect/reattach time; a
+        #: changed epoch means the node rebooted behind our back.
+        self.node_epochs: dict[int, int] = {}
         self.breakpoints: dict[tuple, Breakpoint] = {}
         self.events: list[dict] = []
         #: Interruption intervals, fed from the obs bus: the trap /
@@ -118,24 +156,69 @@ class Pilgrim:
         node: Union[int, str],
         op: str,
         args: Optional[dict] = None,
-        timeout: int = 5 * SEC,
+        timeout: Optional[int] = None,
     ) -> Any:
-        address = self.cluster.node(node).node_id
-        seq = next(self._seq)
-        self.home.station.send(
-            address,
-            rq.AGENT_PORT,
-            {
-                "kind": "request",
-                "session": self.session_id,
-                "seq": seq,
-                "op": op,
-                "args": args or {},
-                "reply_to": self.home.node_id,
-            },
-            kind="agent_request",
+        """One logical request, with bounded retry and backoff.
+
+        Each attempt re-sends the same sequence number, so a reply to an
+        earlier attempt still satisfies a later wait.  A timed-out
+        attempt marks the node ``suspect``; exhausting the retries marks
+        it ``down`` and raises :class:`UnreachableNodeError` carrying the
+        attempt history.  An :class:`AgentError` proves the node is up
+        and is never retried.
+        """
+        target = self.cluster.node(node)
+        address = target.node_id
+        params = self.home.params
+        attempt_timeout = (
+            timeout if timeout is not None else params.debugger_attempt_timeout
         )
-        return self._await_response(seq, timeout)
+        seq = next(self._seq)
+        payload = {
+            "kind": "request",
+            "session": self.session_id,
+            "seq": seq,
+            "op": op,
+            "args": args or {},
+            "reply_to": self.home.node_id,
+        }
+        attempts: list[dict] = []
+        backoff = params.debugger_retry_backoff
+        max_attempts = params.debugger_max_retries + 1
+        for attempt in range(max_attempts):
+            sent_at = self.world.now
+            self.home.station.send(
+                address, rq.AGENT_PORT, payload, kind="agent_request"
+            )
+            try:
+                data = self._await_response(seq, attempt_timeout)
+            except AgentError:
+                self.reachability[address] = "up"
+                raise
+            except DebuggerError as exc:
+                attempts.append({
+                    "attempt": attempt,
+                    "sent_at": sent_at,
+                    "timeout": attempt_timeout,
+                    "error": str(exc),
+                    "backoff": backoff,
+                })
+                self.reachability[address] = "suspect"
+                if attempt + 1 < max_attempts:
+                    self.world.run(until=self.world.now + backoff)
+                    backoff *= 2
+                continue
+            self.reachability[address] = "up"
+            return data
+        self.reachability[address] = "down"
+        raise UnreachableNodeError(
+            f"node {target.name!r} (address {address}) unreachable: "
+            f"{op} got no reply in {max_attempts} attempts",
+            node=target.name,
+            address=address,
+            state="down",
+            attempts=attempts,
+        )
 
     def _await_response(self, seq: int, timeout: int) -> Any:
         deadline = self.world.now + timeout
@@ -173,7 +256,8 @@ class Pilgrim:
         infos = {}
         addresses = [self.cluster.node(n).node_id for n in nodes]
         for node in nodes:
-            infos[self.cluster.node(node).node_id] = self._request(
+            address = self.cluster.node(node).node_id
+            info = self._request(
                 node,
                 rq.CONNECT,
                 {
@@ -182,10 +266,43 @@ class Pilgrim:
                     "force": force,
                 },
             )
+            infos[address] = info
+            self.node_epochs[address] = info.get("epoch", 0)
         self.connected_nodes = addresses
         for address in addresses:
             self._request(address, rq.SET_PEERS, {"nodes": addresses})
         return infos
+
+    def reattach(self, node: Union[int, str]) -> dict:
+        """Re-adopt a node into the running session after a reboot.
+
+        A rebooted node comes back with a fresh dormant agent that knows
+        nothing of the session, so its old session id is stale and every
+        request is rejected.  ``reattach`` re-CONNECTs it under the
+        *existing* session id (forcibly, in case a pre-reboot agent state
+        survived), records the new boot epoch, and re-sends the peer set
+        so halt broadcasts reach it again.
+        """
+        target = self.cluster.node(node)
+        address = target.node_id
+        info = self._request(
+            node,
+            rq.CONNECT,
+            {
+                "session": self.session_id,
+                "debugger": self.home.node_id,
+                "force": True,
+            },
+        )
+        if address not in self.connected_nodes:
+            self.connected_nodes.append(address)
+        self.node_epochs[address] = info.get("epoch", 0)
+        for peer in self.connected_nodes:
+            if self.reachability.get(peer) != "down":
+                self._request(
+                    peer, rq.SET_PEERS, {"nodes": self.connected_nodes}
+                )
+        return info
 
     def disconnect(self) -> None:
         for address in list(self.connected_nodes):
@@ -305,12 +422,51 @@ class Pilgrim:
         """Halt the whole program, starting at ``node``."""
         return self._request(node, rq.HALT, {})
 
+    def halt_all(self) -> dict:
+        """Halt the program via whichever connected node answers first.
+
+        The halting agent broadcasts to its peers with NACK-driven
+        retransmission, so one reachable node suffices; dead nodes are
+        skipped instead of wedging the operation.
+        """
+        attempts: list[dict] = []
+        for address in list(self.connected_nodes):
+            try:
+                return self._request(address, rq.HALT, {})
+            except UnreachableNodeError as exc:
+                attempts.extend(exc.attempts)
+        raise UnreachableNodeError(
+            "halt_all: no connected node is reachable",
+            state="down",
+            attempts=attempts,
+        )
+
     # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
 
     def processes(self, node: Union[int, str]) -> list[dict]:
         return self._request(node, rq.LIST_PROCESSES)
+
+    def all_processes(self) -> dict:
+        """Process tables of every connected node, degrading gracefully.
+
+        Unreachable nodes do not abort the survey: their addresses land
+        in the ``unreachable`` list (with the failure detail) and the
+        ``nodes`` mapping holds whatever the live nodes reported.
+        """
+        tables: dict[int, list] = {}
+        unreachable: list[dict] = []
+        for address in list(self.connected_nodes):
+            try:
+                tables[address] = self._request(address, rq.LIST_PROCESSES)
+            except UnreachableNodeError as exc:
+                unreachable.append({
+                    "node": exc.node,
+                    "address": address,
+                    "error": str(exc),
+                })
+        return {"nodes": tables, "unreachable": unreachable}
 
     def process_state(self, node: Union[int, str], pid: int) -> dict:
         return self._request(node, rq.PROCESS_STATE, {"pid": pid})
@@ -340,11 +496,26 @@ class Pilgrim:
         in_progress_states = (
             "marshalling", "call_sent", "retransmitting", "reply_received",
         )
-        for _hop in range(max_hops):
+        for hop in range(max_hops):
             if (current_node, current_pid) in visited:
                 break
             visited.add((current_node, current_pid))
-            frames = self.backtrace(current_node, current_pid)
+            try:
+                frames = self.backtrace(current_node, current_pid)
+            except UnreachableNodeError as exc:
+                if hop == 0:
+                    raise  # the starting node itself is gone: a real failure
+                # Partial result: the walk reached a dead/partitioned
+                # node.  Mark where it stopped instead of losing the
+                # frames already gathered.
+                result.append({
+                    "synthetic": True,
+                    "node": current_node,
+                    "pid": current_pid,
+                    "unreachable": True,
+                    "error": str(exc),
+                })
+                break
             for frame in frames:
                 frame["node"] = current_node
                 frame["pid"] = current_pid
@@ -366,9 +537,19 @@ class Pilgrim:
             server_addr = self.cluster.registry.lookup(service)
             if server_addr is None or server_addr not in self.connected_nodes:
                 break
-            record = self._request(
-                server_addr, rq.RPC_SERVER_RECORD, {"call_id": info["call_id"]}
-            )
+            try:
+                record = self._request(
+                    server_addr, rq.RPC_SERVER_RECORD, {"call_id": info["call_id"]}
+                )
+            except UnreachableNodeError as exc:
+                result.append({
+                    "synthetic": True,
+                    "node": server_addr,
+                    "pid": None,
+                    "unreachable": True,
+                    "error": str(exc),
+                })
+                break
             if record is None or record.get("worker_pid") is None:
                 break
             current_node = server_addr

@@ -1,0 +1,27 @@
+"""Deterministic fault injection (the nemesis layer).
+
+Three pieces, layered on the existing simulation machinery:
+
+* :class:`~repro.faults.shaper.LinkShaper` — a ring-level packet shaper
+  implementing the fault kinds beyond simple loss: partitions (hardware
+  NACK, the sender's interface learns of non-receipt), lossy windows
+  (silent software loss, invisible to the sender), forced-NACK windows,
+  delay with seeded jitter, duplication, and reordering.  The shaper
+  preserves the paper's taxonomy: a fault is either *hardware-visible*
+  (NACK, drives §5.2-style retransmission) or *silent* (what makes the
+  maybe protocol interesting to debug, §4.1).
+* :class:`~repro.faults.plan.FaultPlan` — a declarative, seeded schedule
+  of fault actions at absolute virtual times.
+* :class:`~repro.faults.plan.Nemesis` — the driver that applies a plan
+  to a cluster by scheduling world events, emitting
+  ``FaultInjected``/``FaultHealed``/``NodeRebooted`` on the obs bus.
+
+Determinism: all randomness flows through ``world.rng``; the same seed
+and plan produce the identical event stream (see
+:class:`repro.obs.EventStreamRecorder`).
+"""
+
+from repro.faults.plan import FaultAction, FaultPlan, Nemesis
+from repro.faults.shaper import LinkShaper
+
+__all__ = ["FaultAction", "FaultPlan", "LinkShaper", "Nemesis"]

@@ -39,6 +39,10 @@ __all__ = [
     "BreakpointHit",
     "TimerFrozen",
     "TimerThawed",
+    "FaultInjected",
+    "FaultHealed",
+    "NodeRebooted",
+    "RpcStaleRejected",
 ]
 
 
@@ -200,3 +204,45 @@ class TimerFrozen(Event):
 @dataclass(frozen=True, slots=True, kw_only=True)
 class TimerThawed(Event):
     count: int = 0
+
+
+# ----------------------------------------------------------------------
+# Fault injection and recovery (the repro.faults nemesis layer)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class FaultInjected(Event):
+    """A nemesis began a fault.  ``fault`` names the kind (``crash``,
+    ``partition``, ``loss``, ``nack``, ``delay``, ``duplicate``,
+    ``reorder``); ``node`` is the affected node or ``None`` for
+    link-level faults."""
+
+    fault: str = ""
+    fault_id: int = 0
+    detail: str = ""
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class FaultHealed(Event):
+    """A fault window closed (partition healed, lossy window ended)."""
+
+    fault: str = ""
+    fault_id: int = 0
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class NodeRebooted(Event):
+    """A crashed node came back with a fresh supervisor and boot epoch."""
+
+    epoch: int = 0
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class RpcStaleRejected(Event):
+    """A rebooted server refused a pre-reboot retransmit rather than risk
+    executing the call a second time (exactly-once dedup across reboot)."""
+
+    call_id: int = 0
+    service: str = ""
+    proc: str = ""

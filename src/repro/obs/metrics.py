@@ -220,5 +220,14 @@ def install_default_metrics(bus: Bus, metrics: Metrics) -> None:
     bus.subscribe(ev.ProcessCreated, lambda e: created.inc(e.node))
     bus.subscribe(ev.ProcessDeleted, lambda e: deleted.inc(e.node))
     bus.subscribe(ev.ProcessFailed, lambda e: proc_failed.inc(e.node))
+
+    injected = metrics.counter("faults.injected")
+    healed = metrics.counter("faults.healed")
+    reboots = metrics.labeled("node.reboots")
+    stale = metrics.counter("rpc.stale_rejected")
+    bus.subscribe(ev.FaultInjected, lambda e: injected.inc())
+    bus.subscribe(ev.FaultHealed, lambda e: healed.inc())
+    bus.subscribe(ev.NodeRebooted, lambda e: reboots.inc(e.node))
+    bus.subscribe(ev.RpcStaleRejected, lambda e: stale.inc())
     # Deliberately NOT subscribed: BreakpointHit, ProcessHalted/Resumed,
     # TimerFrozen/Thawed — dormant until a debugger attaches.

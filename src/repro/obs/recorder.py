@@ -1,0 +1,111 @@
+"""Normalized obs event recording for determinism assertions.
+
+A seeded world driven by the same code must produce the same event
+stream.  The raw events are not directly comparable across runs inside
+one process: ``BasicBlock.packet_id`` comes from a process-global
+counter, and the ``packet``/``process``/``error`` payload fields hold
+live objects whose ``repr`` embeds those ids (or memory addresses).
+:class:`EventStreamRecorder` subscribes to every event type and renders
+each event to a stable text line — scalar fields verbatim, payload
+objects reduced to their stable coordinates (a packet becomes
+``src->dst:port/kind/size``, a process becomes its pid/name), ids from
+process-global counters rebased to the first id seen by this recorder.
+
+Two identically seeded runs then compare with ``==`` on
+:meth:`EventStreamRecorder.lines`, or by :meth:`fingerprint`.
+
+Note that *recording is itself observable*: subscribing materializes
+event types that would otherwise ride the dormant path, which advances
+the bus ``seq``.  Compare recorded runs against recorded runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Optional, Type
+
+from repro.obs import events as ev
+from repro.obs.bus import Bus
+
+
+def _all_event_types() -> list[Type[ev.Event]]:
+    return [
+        getattr(ev, name)
+        for name in ev.__all__
+        if name != "Event"
+    ]
+
+
+class EventStreamRecorder:
+    """Subscribe to (all) obs event types and keep a normalized log."""
+
+    def __init__(
+        self,
+        bus: Bus,
+        event_types: Optional[Iterable[Type[ev.Event]]] = None,
+    ):
+        self.bus = bus
+        self._types = list(event_types) if event_types is not None else _all_event_types()
+        self._lines: list[str] = []
+        #: packet_id -> rebased id, assigned in first-seen order.
+        self._packet_ids: dict[int, int] = {}
+        for event_type in self._types:
+            bus.subscribe(event_type, self._on_event)
+
+    def detach(self) -> None:
+        for event_type in self._types:
+            self.bus.unsubscribe(event_type, self._on_event)
+
+    # ------------------------------------------------------------------
+
+    def _rebase(self, packet_id: int) -> int:
+        rebased = self._packet_ids.get(packet_id)
+        if rebased is None:
+            rebased = len(self._packet_ids) + 1
+            self._packet_ids[packet_id] = rebased
+        return rebased
+
+    def _render(self, name: str, value) -> str:
+        if name == "packet" and value is not None:
+            return (
+                f"pkt#{self._rebase(value.packet_id)}"
+                f"[{value.src}->{value.dst}:{value.port}/{value.kind}"
+                f"/{value.size_bytes}B]"
+            )
+        if name == "process" and value is not None:
+            return f"proc[{value.pid}:{value.name}]"
+        if name == "error" and value is not None:
+            return f"{type(value).__name__}:{value}"
+        return repr(value)
+
+    def _on_event(self, event: ev.Event) -> None:
+        fields = []
+        for slot_owner in type(event).__mro__:
+            for name in getattr(slot_owner, "__slots__", ()):
+                if name in ("time", "node", "seq"):
+                    continue
+                fields.append(f"{name}={self._render(name, getattr(event, name))}")
+        self._lines.append(
+            f"{event.seq:06d} t={event.time} node={event.node} "
+            f"{type(event).__name__} " + " ".join(fields)
+        )
+
+    # ------------------------------------------------------------------
+
+    def lines(self) -> list[str]:
+        """The normalized stream, one line per materialized event."""
+        return list(self._lines)
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the normalized stream (byte-identity check)."""
+        digest = hashlib.sha256()
+        for line in self._lines:
+            digest.update(line.encode())
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def __repr__(self) -> str:
+        return f"<EventStreamRecorder events={len(self._lines)}>"

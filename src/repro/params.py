@@ -85,6 +85,13 @@ class Params:
     agent_priority: int = 100
     #: Tolerance used when comparing distributed clocks (paper §6.1).
     clock_tolerance: int = 2 * MS
+    #: Per-attempt timeout for one debugger->agent request before the
+    #: node is suspected and the request retried.
+    debugger_attempt_timeout: int = 2 * SEC
+    #: Retries (beyond the first attempt) before a node is declared down.
+    debugger_max_retries: int = 2
+    #: Initial backoff between debugger retries; doubles per attempt.
+    debugger_retry_backoff: int = 20 * MS
     #: Cost added to every semaphore wait / monitor or region claim to
     #: model the rejected §5.3 design ("ensure no other nodes had halted
     #: before allowing a process to receive a message, resume from a

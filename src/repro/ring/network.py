@@ -78,6 +78,10 @@ class Station:
     def unregister_port(self, port: str) -> None:
         self._ports.pop(port, None)
 
+    def clear_ports(self) -> None:
+        """Drop every software port handler (node crash/reboot cleanup)."""
+        self._ports.clear()
+
     def handler_for(self, port: str) -> Optional[PortHandler]:
         return self._ports.get(port)
 
@@ -127,6 +131,10 @@ class Ring:
         #: Targeted fault injection: predicates that force a hardware NACK
         #: for matching packets (complements drop_filters' silent loss).
         self.nack_filters: list[DropFilter] = []
+        #: Optional :class:`repro.faults.LinkShaper` implementing the
+        #: richer fault kinds (partition, delay/jitter, duplication,
+        #: reordering).  ``None`` keeps the fault-free fast path.
+        self.shaper = None
         metrics = world.metrics
         self._sent = metrics.labeled("ring.packets_sent")
         self._delivered = metrics.labeled("ring.packets_delivered")
@@ -175,7 +183,9 @@ class Ring:
 
         dst_station = self.stations.get(packet.dst)
         dst_down = dst_station is None or dst_station.node.crashed
-        hardware_nack = dst_down or any(
+        hardware_nack = dst_down or (
+            self.shaper is not None and self.shaper.forces_nack(packet)
+        ) or any(
             nack_filter(packet) for nack_filter in self.nack_filters
         ) or (
             self.interface_nack_probability > 0
@@ -192,7 +202,19 @@ class Ring:
             return
 
         delivery_time = tx_start + self._latency(packet)
-        self.world.schedule_at(delivery_time, self._deliver, packet, node=packet.dst)
+        if self.shaper is None:
+            self.world.schedule_at(
+                delivery_time, self._deliver, packet,
+                node=packet.dst, survives_crash=True,
+            )
+        else:
+            # The shaper may delay, duplicate, or hold back (reorder) the
+            # packet: one delivery per returned offset.
+            for offset in self.shaper.delivery_offsets(packet):
+                self.world.schedule_at(
+                    delivery_time + offset, self._deliver, packet,
+                    node=packet.dst, survives_crash=True,
+                )
 
     def _deliver(self, packet: BasicBlock) -> None:
         now = self.world.now
@@ -226,6 +248,8 @@ class Ring:
         for drop_filter in self.drop_filters:
             if drop_filter(packet):
                 return True
+        if self.shaper is not None and self.shaper.drops(packet):
+            return True
         probability = self.params.packet_loss_probability
         return probability > 0 and self.world.rng.random() < probability
 

@@ -81,6 +81,10 @@ class _ServiceImpl:
         self.vm_procs: dict[str, str] = {}
         self.native_procs: dict[str, Callable] = {}
         self.signatures: dict[str, Signature] = {}
+        #: Whether this service was published in the global registry
+        #: (remembered so a node reboot re-installs it identically).
+        self.registered = True
+        self.halt_exempt = False
 
 
 class RpcRuntime:
@@ -125,6 +129,12 @@ class RpcRuntime:
         self._dispatcher: Optional["Process"] = None
         self._exempt_queue = node.queue("rpc.dispatch.exempt")
         self._exempt_dispatcher: Optional["Process"] = None
+        #: When this runtime booted (node time).  Retransmits of calls
+        #: first sent before this moment are *stale*: the pre-reboot
+        #: runtime may already have executed them, so re-executing here
+        #: would break exactly-once.  They are rejected instead.
+        self.boot_time = node.supervisor.current_time()
+        self._stale = metrics.counter("rpc.stale_rejected")
         node.rpc = self
         node.station.register_port(RPC_PORT, self._on_packet)
         self.debug_support = True
@@ -144,6 +154,12 @@ class RpcRuntime:
     @property
     def calls_failed(self) -> int:
         return self._failed.get(self.node.node_id)
+
+    @property
+    def stale_rejected(self) -> int:
+        """World-wide count of pre-reboot retransmits refused (the
+        series is a plain counter shared by all runtimes)."""
+        return self._stale.value
 
     # ------------------------------------------------------------------
     # Debug support toggle (paper §4.3)
@@ -236,6 +252,8 @@ class RpcRuntime:
         halt_exempt: bool = False,
     ) -> None:
         self._services[service] = impl
+        impl.registered = register
+        impl.halt_exempt = halt_exempt
         if register:
             self.registry.register(service, self.node.node_id, impl.signatures)
         if halt_exempt:
@@ -251,6 +269,23 @@ class RpcRuntime:
                 self._dispatcher_body(self._dispatch_queue, exempt=False),
                 name="rpc.dispatcher",
             )
+
+    def reinstall(self, impl: _ServiceImpl) -> None:
+        """Carry a service over from a pre-reboot runtime.
+
+        Used by the cluster's reboot hook: the implementation object
+        survives (procedure tables, signatures), but dispatchers, queues,
+        and registry rows belong to this fresh runtime.  VM-backed
+        services get their image's RPC hook repointed here.
+        """
+        if impl.halt_exempt:
+            self.exempt_services.add(impl.name)
+        if impl.vm_image is not None:
+            impl.vm_image.rpc_hook = self.vm_rcall
+        self._install(
+            impl.name, impl, register=impl.registered,
+            halt_exempt=impl.halt_exempt,
+        )
 
     # ------------------------------------------------------------------
     # Client side
@@ -336,6 +371,10 @@ class RpcRuntime:
             "args": args_wire,
             "client_node": self.node.node_id,
             "client_pid": process.pid,
+            # Reboot-safe dedup: servers compare the first-send time with
+            # their own boot time to recognize pre-reboot retransmits.
+            "first_sent_at": record.started_at,
+            "retry": 0,
         }
         # Client send-side processing, then transmission.
         self.timers.start(self._step_cost(), self._send_call, record, target, payload)
@@ -380,6 +419,7 @@ class RpcRuntime:
             return
         record.info_block["retries"] += 1
         record.info_block["state"] = STATE_RETRANSMITTING
+        payload["retry"] = record.info_block["retries"]
         self.bus.emit(
             ev.RpcCallRetried,
             time=self.node.supervisor.current_time(),
@@ -467,6 +507,36 @@ class RpcRuntime:
                     existing.reply_wire,
                 )
             return  # in progress: the original worker will reply
+        if (
+            payload.get("retry", 0) > 0
+            and payload.get("first_sent_at", 0) < self.boot_time
+        ):
+            # A retransmit of a call first sent before this runtime
+            # booted: the pre-reboot incarnation may have executed it
+            # (and lost the dedup table in the crash), so executing it
+            # again could double-run the procedure.  Refuse, telling the
+            # client explicitly rather than letting it retry to death.
+            self.bus.emit(
+                ev.RpcStaleRejected,
+                time=self.node.supervisor.current_time(),
+                node=self.node.node_id,
+                call_id=call_id,
+                service=payload["service"],
+                proc=payload["proc"],
+            )
+            self.timers.start(
+                self._step_cost(),
+                self._send_reply_wire,
+                payload["client_node"],
+                {
+                    "type": "reply",
+                    "call_id": call_id,
+                    "status": "error",
+                    "reason": "stale retransmit rejected: server rebooted "
+                              "since the call began",
+                },
+            )
+            return
         record = ServerCallRecord(
             call_id,
             payload["client_node"],

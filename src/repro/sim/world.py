@@ -40,9 +40,14 @@ class EventHandle:
     ``node`` tags the event with the node it can affect (packet delivery to
     that node, its timers, its scheduler ticks); untagged events are global
     and bound every node's execution window.
+
+    ``survives_crash`` marks node-tagged events whose cause lives *off*
+    the node — an in-flight ring delivery is on the wire, so the
+    destination crashing must not retract it (the interface-level drop is
+    modelled at delivery time instead).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "node")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "node", "survives_crash")
 
     def __init__(
         self,
@@ -51,6 +56,7 @@ class EventHandle:
         fn: Callable[..., Any],
         args: tuple,
         node: Optional[int] = None,
+        survives_crash: bool = False,
     ):
         self.time = time
         self.seq = seq
@@ -58,6 +64,7 @@ class EventHandle:
         self.args = args
         self.cancelled = False
         self.node = node
+        self.survives_crash = survives_crash
 
     def cancel(self) -> None:
         self.cancelled = True
@@ -149,6 +156,7 @@ class World:
         fn: Callable[..., Any],
         *args: Any,
         node: Optional[int] = None,
+        survives_crash: bool = False,
     ) -> EventHandle:
         """Schedule ``fn(*args)`` at an absolute virtual time."""
         if time < self.now:
@@ -156,13 +164,46 @@ class World:
                 f"cannot schedule at t={time} before now={self.now}"
             )
         self._seq += 1
-        handle = EventHandle(time, self._seq, fn, args, node=node)
+        handle = EventHandle(
+            time, self._seq, fn, args, node=node, survives_crash=survives_crash
+        )
         heapq.heappush(self._queue, handle)
         if node is None:
             heapq.heappush(self._global_index, handle)
         else:
             heapq.heappush(self._node_index.setdefault(node, []), handle)
         return handle
+
+    def cancel_node_events(self, node: int) -> int:
+        """Cancel every pending event tagged with ``node``.
+
+        Used by :meth:`repro.mayflower.node.Node.crash`: a fail-stopped
+        machine must not have timers or scheduler ticks fire after the
+        crash.  Events marked ``survives_crash`` (in-flight ring
+        deliveries, which live on the wire) are kept — they still bound
+        execution windows and resolve at delivery time.  Returns the
+        number of live events cancelled.  The main queue keeps the (now
+        cancelled) entries and skips them when popped.
+        """
+        heap = self._node_index.get(node)
+        if not heap:
+            return 0
+        cancelled = 0
+        kept: list[EventHandle] = []
+        for handle in heap:
+            if handle.cancelled:
+                continue
+            if handle.survives_crash:
+                kept.append(handle)
+            else:
+                handle.cancel()
+                cancelled += 1
+        if kept:
+            heapq.heapify(kept)
+            self._node_index[node] = kept
+        else:
+            self._node_index.pop(node, None)
+        return cancelled
 
     # ------------------------------------------------------------------
     # Cooperative clock advancement (used by node CPU slices)
