@@ -1,0 +1,164 @@
+"""E13 — cost of record/replay and the checkpoint-seek payoff.
+
+Two questions, both reproduction-only (the paper predates record/replay
+debuggers; MAD-style record-and-analyze is the modern lineage):
+
+* **Record overhead** — recording materializes every obs event (the
+  dormant fast path E11 protects is off by definition), builds a
+  structured payload plus a normalized line, and periodically captures
+  checkpoints.  Measured as host time of one chaos run bare, with the
+  plain ``EventStreamRecorder``, and with the full ``TraceWriter``.
+* **Seek speedup** — ``at(t)`` folds the state view from the nearest
+  checkpoint at or before the target instead of from the beginning of
+  the trace.  Measured as host time per seek over a long recording,
+  with checkpoints vs with the checkpoint index stripped.
+
+Acceptance: full recording stays under 5x the bare run (it is a debug
+mode, not always-on — but must remain usable), and checkpointed seeks
+beat fold-from-zero on a multi-thousand-event trace.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.common import print_table
+from repro import MS, SEC, Cluster, FaultPlan, record_run
+from repro.obs import EventStreamRecorder
+from repro.replay import TimeTravel, Trace, TraceWriter
+
+ECHO_SERVER = "proc echo(x: int) returns int\n  return x\nend"
+
+CHAOS_CLIENT = """
+proc main()
+  var total: int := 0
+  for i := 1 to 12 do
+    var r: int := remote svc.echo(i)
+    if failed(r) then
+      total := total - 100
+    else
+      total := total + r
+    end
+  end
+  print total
+end
+"""
+
+LONG_CLIENT = """
+proc main()
+  var total: int := 0
+  for i := 1 to 300 do
+    var r: int := remote svc.echo(i)
+    if failed(r) then
+      total := total - 100
+    else
+      total := total + r
+    end
+  end
+  print total
+end
+"""
+
+NAMES = ["client", "server", "debugger"]
+SEEK_TIMES_PER_ROUND = 40
+
+
+def _build(client_source):
+    def build(cluster):
+        server_image = cluster.load_program(ECHO_SERVER, "server")
+        cluster.rpc("server").export_vm("svc", server_image, {"echo": "echo"})
+        client_image = cluster.load_program(client_source, "client")
+        cluster.spawn_vm("client", client_image, "main")
+    return build
+
+
+def _chaos_plan():
+    return (FaultPlan()
+            .crash(at=60 * MS, node="server")
+            .reboot(at=200 * MS, node="server")
+            .delay(at=360 * MS, duration=400 * MS, extra=5 * MS, jitter=2 * MS))
+
+
+def time_chaos_run(recorder: str) -> float:
+    """Host seconds for one recorded chaos run (setup excluded)."""
+    from repro.faults.plan import Nemesis
+
+    cluster = Cluster(names=NAMES, seed=7)
+    if recorder == "stream":
+        EventStreamRecorder(cluster.world.bus)
+    elif recorder == "trace":
+        TraceWriter(cluster, plan=_chaos_plan(), checkpoint_every=100 * MS)
+    _build(CHAOS_CLIENT)(cluster)
+    Nemesis(cluster, _chaos_plan())
+    start = time.perf_counter()
+    cluster.run(until=4 * SEC)
+    return time.perf_counter() - start
+
+
+def time_seeks(travel: TimeTravel, targets: list[int]) -> float:
+    """Host seconds per at(t) seek, cache defeated between seeks."""
+    start = time.perf_counter()
+    for t in targets:
+        travel.at(t)
+    return (time.perf_counter() - start) / len(targets)
+
+
+def run_experiment() -> dict:
+    time_chaos_run("trace")  # warm-up: imports, code caches
+    # Best-of-3 per configuration to shave scheduler noise.
+    bare = min(time_chaos_run("bare") for _ in range(3))
+    stream = min(time_chaos_run("stream") for _ in range(3))
+    full = min(time_chaos_run("trace") for _ in range(3))
+
+    trace = record_run(_build(LONG_CLIENT), NAMES, seed=7,
+                       checkpoint_every=200 * MS)
+    # Seek targets spread over the whole run, visited in an order that
+    # defeats any benefit from cursor locality.
+    span = trace.final_time
+    targets = [(i * 7919) % span for i in range(SEEK_TIMES_PER_ROUND)]
+    fast = TimeTravel(trace)
+    stripped = Trace(trace.header, trace.events, trace.checkpoints[:1],
+                     trace.footer)
+    slow = TimeTravel(stripped)
+    fast_seek = min(time_seeks(fast, targets) for _ in range(3))
+    slow_seek = min(time_seeks(slow, targets) for _ in range(3))
+
+    return {
+        "bare": bare,
+        "stream": stream,
+        "full": full,
+        "events": len(trace.events),
+        "checkpoints": len(trace.checkpoints),
+        "fast_seek": fast_seek,
+        "slow_seek": slow_seek,
+    }
+
+
+def test_e13_replay(benchmark):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    bare = result["bare"]
+    rows = [
+        ["bare chaos run (default metrics only)", f"{bare * 1e3:.1f}", "1.00x"],
+        ["+ EventStreamRecorder", f"{result['stream'] * 1e3:.1f}",
+         f"{result['stream'] / bare:.2f}x"],
+        ["+ TraceWriter (payloads, lines, checkpoints)",
+         f"{result['full'] * 1e3:.1f}", f"{result['full'] / bare:.2f}x"],
+    ]
+    print_table("E13a: record overhead on one chaos run",
+                ["configuration", "host ms", "vs bare"], rows)
+
+    speedup = result["slow_seek"] / result["fast_seek"]
+    rows = [
+        ["fold from t=0 (checkpoints stripped)",
+         f"{result['slow_seek'] * 1e6:.0f}", "1.0x"],
+        [f"fold from nearest of {result['checkpoints']} checkpoints",
+         f"{result['fast_seek'] * 1e6:.0f}", f"{speedup:.1f}x"],
+    ]
+    print_table(
+        f"E13b: at(t) seek cost over a {result['events']}-event trace",
+        ["strategy", "us/seek", "speedup"], rows)
+
+    # Recording is a debug mode: bounded, not free.
+    assert result["full"] <= 5.0 * bare
+    # Checkpoints must pay for themselves on a long trace.
+    assert result["fast_seek"] < result["slow_seek"]

@@ -44,7 +44,7 @@ def run_experiment() -> list[list]:
     dbg = Pilgrim(cluster, home="debugger")
     tracer = RingTracer(cluster.ring)
     dbg.connect("app")
-    bp = dbg.break_at("app", "app", line=11)  # inside work
+    bp = dbg.set_breakpoint("app", "app", line=11)  # inside work
     hit = dbg.wait_for_breakpoint()
     pid = hit["pid"]
     world = cluster.world
@@ -73,7 +73,7 @@ def run_experiment() -> list[list]:
         timed("write_var", lambda: dbg.write_var("app", pid, "n", 5)),
         timed("display (print op)", lambda: dbg.display("app", pid, "p")),
         timed("set_breakpoint",
-              lambda: dbg.break_at("app", "app", func="work", pc=0)),
+              lambda: dbg.set_breakpoint("app", "app", func="work", pc=0)),
         timed("rpc_info", lambda: dbg.rpc_info("app")),
         timed("single step", lambda: dbg.step("app", pid)),
     ]

@@ -61,7 +61,7 @@ def main() -> None:
     print(f"attached, session {dbg.session_id}")
 
     # Break where the client records the answer (line 14: print req).
-    bp = dbg.break_at("client", "client", line=15)
+    bp = dbg.set_breakpoint("client", "client", line=15)
     hit = dbg.wait_for_breakpoint()
     print(f"breakpoint: pid {hit['pid']} at {hit['proc']} line {hit['line']}")
 
@@ -71,8 +71,8 @@ def main() -> None:
 
     # A distributed backtrace during a live call: break inside the server.
     dbg.resume("client")
-    dbg.clear(bp)
-    server_bp = dbg.break_at("server", "server", line=6)  # recursive step
+    dbg.clear_breakpoint(bp)
+    server_bp = dbg.set_breakpoint("server", "server", line=6)  # recursive step
     hit = dbg.wait_for_breakpoint()
     main_pid = next(
         p["pid"] for p in dbg.processes("client") if p["name"] == "main"
@@ -89,7 +89,7 @@ def main() -> None:
 
     # Resume, detach, and let the program keep running.
     dbg.resume("server")
-    dbg.clear(server_bp)
+    dbg.clear_breakpoint(server_bp)
     dbg.disconnect()
     before = len(client_image.console)
     cluster.run_for(300 * MS)

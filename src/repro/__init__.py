@@ -11,7 +11,7 @@ Quick start::
 
     dbg = Pilgrim(cluster, home="debugger")
     dbg.connect("app", "server")
-    bp = dbg.break_at("app", "main", line=4)
+    bp = dbg.set_breakpoint("app", "main", line=4)
     hit = dbg.wait_for_breakpoint()
     print(dbg.backtrace("app", hit["pid"]))
     dbg.resume("app")
@@ -20,10 +20,12 @@ Quick start::
 Layers (bottom up): :mod:`repro.sim` (event kernel), :mod:`repro.mayflower`
 (supervisor), :mod:`repro.ring` (network), :mod:`repro.cvm` +
 :mod:`repro.cclu` (language and VM), :mod:`repro.rpc`, :mod:`repro.agent`,
-:mod:`repro.debugger`, :mod:`repro.servers` (debug-aware shared services).
+:mod:`repro.debugger`, :mod:`repro.servers` (debug-aware shared services),
+:mod:`repro.replay` (deterministic record/replay and time travel).
 """
 
 from repro.cluster import Cluster
+from repro.debugger.api import DebuggerSession
 from repro.debugger.pilgrim import (
     AgentError,
     DebuggerError,
@@ -32,6 +34,7 @@ from repro.debugger.pilgrim import (
 )
 from repro.faults import FaultPlan, Nemesis
 from repro.params import DEFAULT_PARAMS, Params
+from repro.replay import Trace, record_run, replay_trace
 from repro.sim.units import MS, SEC, US
 
 __version__ = "1.0.0"
@@ -39,6 +42,10 @@ __version__ = "1.0.0"
 __all__ = [
     "Cluster",
     "Pilgrim",
+    "DebuggerSession",
+    "Trace",
+    "record_run",
+    "replay_trace",
     "AgentError",
     "DebuggerError",
     "UnreachableNodeError",

@@ -41,6 +41,12 @@ class Cluster:
         if names is None:
             names = [f"node{i}" for i in range(n_nodes)]
         self.params = params or Params()
+        #: The construction recipe, kept verbatim so a trace header can
+        #: record everything needed to rebuild an identical cluster
+        #: (see :mod:`repro.replay.trace`).
+        self.seed = seed
+        self.names = list(names)
+        self.clock_skews = list(clock_skews) if clock_skews else [0] * len(names)
         self.world = World(seed=seed)
         self.ring = Ring(self.world, self.params)
         self.registry = ServiceRegistry()

@@ -1,8 +1,12 @@
 """Pilgrim, the debugger proper: sessions, source mapping, breakpoints,
 cross-node backtraces, typed display, and the breakpoint log behind
 convert_debuggee_time.
+
+:class:`DebuggerSession` is the unified protocol both this simulated
+debugger and :class:`repro.live.debugger.LiveDebugger` implement.
 """
 
+from repro.debugger.api import DebuggerSession, deprecated_alias
 from repro.debugger.pilgrim import (
     PILGRIM_TIME_SERVICE,
     AgentError,
@@ -18,7 +22,9 @@ __all__ = [
     "AgentError",
     "Breakpoint",
     "DebuggerError",
+    "DebuggerSession",
     "UnreachableNodeError",
     "Pilgrim",
     "BreakpointLog",
+    "deprecated_alias",
 ]

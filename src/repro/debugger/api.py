@@ -1,0 +1,94 @@
+"""The unified debugger session API.
+
+Two debugger frontends grew side by side — the simulated
+:class:`~repro.debugger.pilgrim.Pilgrim` and the out-of-process
+:class:`~repro.live.debugger.LiveDebugger` — with diverging names for
+the same operations (``processes()`` vs ``threads()``, ``break_at()``
+vs ``set_breakpoint()``).  :class:`DebuggerSession` is the one protocol
+both implement; scripts written against it run against either backend.
+
+Canonical names:
+
+==================  ============================================
+``connect``         open a session with the target(s)
+``disconnect``      end the session, program continues
+``processes``       list debuggable processes/threads
+``set_breakpoint``  plant a breakpoint (source coordinates)
+``clear_breakpoint``  remove a breakpoint
+``wait_for_breakpoint``  block until one is hit
+``halt`` / ``resume``    stop / continue the whole program
+``step``            single-step a trapped process
+``backtrace``       stack frames of one process
+``read_var``        read a variable in some frame
+``status``          session/debuggee status summary
+==================  ============================================
+
+The old names survive one release as thin aliases that emit a
+:class:`DeprecationWarning` (see :func:`deprecated_alias`).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Protocol, runtime_checkable
+
+
+def deprecated_alias(canonical: str, old_name: str):
+    """Build a method that forwards to ``canonical`` with a warning.
+
+    Used at class scope::
+
+        class Pilgrim:
+            def set_breakpoint(self, ...): ...
+            break_at = deprecated_alias("set_breakpoint", "break_at")
+    """
+
+    def alias(self, *args, **kwargs):
+        warnings.warn(
+            f"{type(self).__name__}.{old_name}() is deprecated; "
+            f"use {canonical}()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(self, canonical)(*args, **kwargs)
+
+    alias.__name__ = old_name
+    alias.__qualname__ = old_name
+    alias.__doc__ = f"Deprecated alias for :meth:`{canonical}`."
+    return alias
+
+
+@runtime_checkable
+class DebuggerSession(Protocol):
+    """What every Pilgrim debugger frontend exposes.
+
+    Signatures stay loose on purpose: the sim backend addresses
+    processes as ``(node, pid)`` and breakpoints as ``(node, module,
+    line)``, the live backend as ``(thread,)`` and ``(file, line)`` —
+    the *operations* and their names are what the protocol pins down.
+    ``isinstance(obj, DebuggerSession)`` checks structurally.
+    """
+
+    def connect(self, *args, **kwargs): ...
+
+    def disconnect(self, *args, **kwargs): ...
+
+    def processes(self, *args, **kwargs): ...
+
+    def set_breakpoint(self, *args, **kwargs): ...
+
+    def clear_breakpoint(self, *args, **kwargs): ...
+
+    def wait_for_breakpoint(self, *args, **kwargs): ...
+
+    def halt(self, *args, **kwargs): ...
+
+    def resume(self, *args, **kwargs): ...
+
+    def step(self, *args, **kwargs): ...
+
+    def backtrace(self, *args, **kwargs): ...
+
+    def read_var(self, *args, **kwargs): ...
+
+    def status(self, *args, **kwargs): ...

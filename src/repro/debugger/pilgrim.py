@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Any, Optional, Union
 
 from repro.agent import requests as rq
 from repro.cvm.image import Program
+from repro.debugger.api import deprecated_alias
 from repro.debugger.timelog import BreakpointLog
 from repro.rpc.marshal import MarshalError, marshal, unmarshal
 from repro.sim.units import SEC
@@ -126,6 +127,12 @@ class Pilgrim:
         self.log.attach(self.world.bus)
         self._responses: dict[int, dict] = {}
         self._seq = itertools.count(1)
+        #: Record/replay state (see repro.replay): the writer while a
+        #: recording is live, the sealed trace and its time-travel index
+        #: once one is loaded.
+        self._trace_writer = None
+        self.trace = None
+        self._timetravel = None
         #: True while an API call is driving the simulation; arrival of a
         #: response/event then stops the run immediately so virtual time
         #: does not overshoot.
@@ -367,7 +374,7 @@ class Pilgrim:
                 return func.name, pc
         raise DebuggerError(f"no code generated for {module}:{line}")
 
-    def break_at(
+    def set_breakpoint(
         self,
         node: Union[int, str],
         module: str,
@@ -382,7 +389,7 @@ class Pilgrim:
         elif func is not None and pc is None:
             pc = 0
         if func is None or pc is None:
-            raise DebuggerError("break_at needs a line, a func, or func+pc")
+            raise DebuggerError("set_breakpoint needs a line, a func, or func+pc")
         data = self._request(
             node, rq.SET_BREAKPOINT, {"module": module, "func": func, "pc": pc}
         )
@@ -392,13 +399,17 @@ class Pilgrim:
         self.breakpoints[bp.key()] = bp
         return bp
 
-    def clear(self, bp: Breakpoint) -> None:
+    break_at = deprecated_alias("set_breakpoint", "break_at")
+
+    def clear_breakpoint(self, bp: Breakpoint) -> None:
         self._request(
             bp.node,
             rq.CLEAR_BREAKPOINT,
             {"module": bp.module, "func": bp.func, "pc": bp.pc},
         )
         self.breakpoints.pop(bp.key(), None)
+
+    clear = deprecated_alias("clear_breakpoint", "clear")
 
     def wait_for_breakpoint(self, timeout: int = 10 * SEC) -> dict:
         event = self.wait_for_event(rq.EVENT_BREAKPOINT, timeout)
@@ -656,6 +667,97 @@ class Pilgrim:
         if record["completed"]:
             return "reply packet lost (the server executed the call and replied)"
         return "server still executing the call"
+
+    # ------------------------------------------------------------------
+    # Session status (the sim half of the unified DebuggerSession API)
+    # ------------------------------------------------------------------
+
+    def status(self) -> dict:
+        """A local summary of the session — no network round trips."""
+        return {
+            "mode": "sim",
+            "session": self.session_id,
+            "connected": list(self.connected_nodes),
+            "reachability": dict(self.reachability),
+            "epochs": dict(self.node_epochs),
+            "breakpoints": len(self.breakpoints),
+            "time": self.world.now,
+            "recording": self._trace_writer is not None,
+            "trace_loaded": self._timetravel is not None,
+        }
+
+    # ------------------------------------------------------------------
+    # Record / replay and time travel (see repro.replay)
+    # ------------------------------------------------------------------
+
+    def start_recording(
+        self,
+        plan=None,
+        checkpoint_every: Optional[int] = None,
+        meta: Optional[dict] = None,
+    ):
+        """Attach a trace writer to the cluster's bus.
+
+        Everything from here on — packets, RPC calls, process lifecycle,
+        halts, faults — lands in the trace.  Interactive recordings are
+        time-travelable but not re-executable (the debugger's own
+        request timing is not in the trace); use
+        :func:`repro.replay.record_run` for replayable recordings.
+        """
+        from repro.replay.trace import TraceWriter
+        if self._trace_writer is not None:
+            raise DebuggerError("already recording")
+        self._trace_writer = TraceWriter(
+            self.cluster, plan=plan, checkpoint_every=checkpoint_every,
+            meta=meta,
+        )
+        return self._trace_writer
+
+    def stop_recording(self):
+        """Seal the trace, load it for time travel, and return it."""
+        if self._trace_writer is None:
+            raise DebuggerError("not recording (call start_recording first)")
+        trace = self._trace_writer.finish(drive={"mode": "manual"})
+        self._trace_writer = None
+        self.load_trace(trace)
+        return trace
+
+    def load_trace(self, trace) -> None:
+        """Attach a trace (object or path) for time-travel queries."""
+        from repro.replay.timetravel import TimeTravel
+        from repro.replay.trace import Trace
+        if isinstance(trace, (str, bytes)) or hasattr(trace, "__fspath__"):
+            trace = Trace.load(trace)
+        self.trace = trace
+        self._timetravel = TimeTravel(trace)
+
+    def _travel(self):
+        if self._timetravel is None:
+            raise DebuggerError(
+                "no trace loaded (record with start_recording/stop_recording "
+                "or attach one with load_trace)"
+            )
+        return self._timetravel
+
+    def at(self, t: int):
+        """Time-travel: the recorded state at virtual time ``t``."""
+        return self._travel().at(t)
+
+    def reverse_step(self):
+        """Time-travel: step the cursor one event backwards."""
+        return self._travel().reverse_step()
+
+    def forward_step(self):
+        """Time-travel: step the cursor one event forwards."""
+        return self._travel().step()
+
+    def why_halted(self, node: Optional[int] = None) -> dict:
+        """Time-travel: explain the halt state at the cursor."""
+        return self._travel().why_halted(node)
+
+    def causal_predecessors(self, index: int):
+        """Time-travel: the causal history of trace event ``index``."""
+        return self._travel().causal_predecessors(index)
 
     # ------------------------------------------------------------------
     # Time conversion for shared servers (paper §6.1)

@@ -20,6 +20,14 @@ Pilgrim's distributed operations::
     halt app                  halt the whole program
     rpc app                   show RPC call tables / recent outcomes
     time                      logical/real clocks and interruption total
+    record                    start recording a trace (record/replay)
+    record stop               seal the trace, load it for time travel
+    at 100ms                  jump the time-travel cursor to a moment
+    rstep                     step the cursor one event backwards
+    fstep                     step the cursor one event forwards
+    why                       explain why the program is halted here
+    causes 42                 causal predecessors of trace event #42
+    status                    session summary
     help                      this text
 
 The REPL is synchronous over virtual time: every command drives the
@@ -135,7 +143,7 @@ class PilgrimRepl:
 
     def cmd_break(self, args, force=False):
         node, module, line = args[0], args[1], int(args[2])
-        bp = self.dbg.break_at(node, module, line=line)
+        bp = self.dbg.set_breakpoint(node, module, line=line)
         self._bp_counter += 1
         self.breakpoints[self._bp_counter] = bp
         self.emit(
@@ -146,7 +154,7 @@ class PilgrimRepl:
     def cmd_clear(self, args, force=False):
         number = int(args[0])
         bp = self.breakpoints.pop(number)
-        self.dbg.clear(bp)
+        self.dbg.clear_breakpoint(bp)
         self.emit(f"cleared breakpoint #{number}")
 
     def cmd_run(self, args, force=False):
@@ -255,6 +263,66 @@ class PilgrimRepl:
         self.emit(
             f"  debugger interruption log total: {self.dbg.total_interruption()}us"
         )
+
+    # ------------------------------------------------------------------
+    # Record / replay and time travel (see repro.replay)
+    # ------------------------------------------------------------------
+
+    def _print_moment(self, moment) -> None:
+        view = moment.view
+        if moment.event is not None:
+            self.emit(f"  @#{moment.index - 1} {moment.event.line}")
+        else:
+            self.emit(f"  @#{moment.index} (before first event)")
+        self.emit(f"  t={view.time}us")
+        for node in sorted(view.halted):
+            if view.halted[node]:
+                self.emit(f"  node {node} halted (pids {view.halted[node]})")
+        for node in sorted(view.in_flight):
+            if view.in_flight[node]:
+                self.emit(f"  node {node} rpc in flight: {view.in_flight[node]}")
+        counts = ", ".join(f"{k}={v}" for k, v in sorted(view.counts.items()) if v)
+        self.emit(f"  counts: {counts or '-'}")
+
+    def cmd_record(self, args, force=False):
+        if args and args[0] == "stop":
+            trace = self.dbg.stop_recording()
+            self.emit(
+                f"recorded {len(trace.events)} events, "
+                f"{len(trace.checkpoints)} checkpoints; trace loaded"
+            )
+        else:
+            self.dbg.start_recording()
+            self.emit("recording (finish with 'record stop')")
+
+    def cmd_at(self, args, force=False):
+        self._print_moment(self.dbg.at(parse_duration(args[0])))
+
+    def cmd_rstep(self, args, force=False):
+        self._print_moment(self.dbg.reverse_step())
+
+    def cmd_fstep(self, args, force=False):
+        self._print_moment(self.dbg.forward_step())
+
+    def cmd_why(self, args, force=False):
+        node = self.dbg.cluster.node(args[0]).node_id if args else None
+        verdict = self.dbg.why_halted(node)
+        if not verdict["halted"]:
+            self.emit("  not halted here")
+            return
+        self.emit(f"  halted on nodes {verdict['nodes']} since t={verdict['since']}us")
+        if verdict.get("halt_event") is not None:
+            self.emit(f"  first halt: {verdict['halt_event'].line}")
+        if verdict.get("cause") is not None:
+            self.emit(f"  cause:      {verdict['cause'].line}")
+
+    def cmd_causes(self, args, force=False):
+        for event in self.dbg.causal_predecessors(int(args[0])):
+            self.emit(f"  #{event.index:<4} {event.line}")
+
+    def cmd_status(self, args, force=False):
+        for key, value in self.dbg.status().items():
+            self.emit(f"  {key}: {value}")
 
     def cmd_quit(self, args, force=False):
         self.done = True

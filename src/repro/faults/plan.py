@@ -125,6 +125,51 @@ class FaultPlan:
     def __len__(self) -> int:
         return len(self.actions)
 
+    # ------------------------------------------------------------------
+    # Serialization (the replay trace header embeds the plan)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable form of the plan; see :meth:`from_dict`."""
+        return {
+            "actions": [
+                {
+                    "at": action.at,
+                    "kind": action.kind,
+                    "node": action.node,
+                    "groups": [list(group) for group in action.groups],
+                    "duration": action.duration,
+                    "probability": action.probability,
+                    "extra": action.extra,
+                    "jitter": action.jitter,
+                    "src": action.src,
+                    "dst": action.dst,
+                }
+                for action in self.actions
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output.  The round-trip is
+        exact: ``FaultPlan.from_dict(plan.to_dict()) == plan``."""
+        actions = [
+            FaultAction(
+                at=entry["at"],
+                kind=entry["kind"],
+                node=entry.get("node"),
+                groups=tuple(tuple(group) for group in entry.get("groups", ())),
+                duration=entry.get("duration"),
+                probability=entry.get("probability", 1.0),
+                extra=entry.get("extra", 0),
+                jitter=entry.get("jitter", 0),
+                src=entry.get("src"),
+                dst=entry.get("dst"),
+            )
+            for entry in data.get("actions", [])
+        ]
+        return cls(actions=actions)
+
 
 class Nemesis:
     """Applies fault plans to a cluster via the world event queue."""

@@ -13,8 +13,9 @@ Debugging support added for Pilgrim (paper §5.2, §5.4):
 * the halt-exempt bit on processes (agent, runtime library);
 * deferred halting for processes inside a ``no_halt`` critical region;
 * a supervisor primitive returning register-level process state;
-* hooks invoked on process creation/deletion so the agent can track every
-  process (paper §5.4).
+* ``ProcessCreated`` / ``ProcessDeleted`` / ``ProcessFailed`` events on the
+  world's obs bus, so the agent can track every process (paper §5.4) —
+  subscribe there; the legacy per-supervisor hook lists are gone.
 """
 
 from __future__ import annotations
@@ -36,39 +37,6 @@ if TYPE_CHECKING:
     from repro.sim.world import World
 
 
-class _BridgedHookList(list):
-    """Back-compat shim for the legacy ``creation_hooks`` /
-    ``deletion_hooks`` lists.
-
-    The supervisor emits ``ProcessCreated``/``ProcessDeleted`` on the
-    world's obs bus; appending the first hook lazily arms a bus
-    subscription that fans the events back out to this list, so legacy
-    callers keep working while all traffic routes through the bus.
-    """
-
-    def __init__(self, arm: Callable[[], None]):
-        super().__init__()
-        self._arm = arm
-        self._armed = False
-
-    def _ensure_armed(self) -> None:
-        if not self._armed:
-            self._armed = True
-            self._arm()
-
-    def append(self, hook) -> None:
-        self._ensure_armed()
-        super().append(hook)
-
-    def extend(self, hooks) -> None:
-        self._ensure_armed()
-        super().extend(hooks)
-
-    def insert(self, index, hook) -> None:
-        self._ensure_armed()
-        super().insert(index, hook)
-
-
 class Supervisor:
     """Scheduler, process table, and halt machinery for one node."""
 
@@ -88,54 +56,8 @@ class Supervisor:
         self.local_now = 0
         self._tick_event = None
         self.halt_active = False
-        #: Legacy hook for process traps/failures, bridged onto the bus's
-        #: ``ProcessFailed`` events (the agent subscribes directly).
-        self._failure_hook: Optional[
-            Callable[[Process, BaseException], None]
-        ] = None
-        self._failure_bridge_armed = False
-        #: Legacy hook lists for process creation and deletion (paper
-        #: §5.4: the agent "must know of the existence of every
-        #: process"), bridged onto ``ProcessCreated``/``ProcessDeleted``.
-        self.creation_hooks = _BridgedHookList(
-            lambda: self.bus.subscribe(ev.ProcessCreated, self._bridge_creation)
-        )
-        self.deletion_hooks = _BridgedHookList(
-            lambda: self.bus.subscribe(ev.ProcessDeleted, self._bridge_deletion)
-        )
         #: Total CPU microseconds consumed, per process and overall.
         self.cpu_consumed = 0
-
-    # ------------------------------------------------------------------
-    # Legacy hook bridges (thin back-compat shims over the bus)
-    # ------------------------------------------------------------------
-
-    @property
-    def failure_hook(self) -> Optional[Callable[[Process, BaseException], None]]:
-        return self._failure_hook
-
-    @failure_hook.setter
-    def failure_hook(
-        self, hook: Optional[Callable[[Process, BaseException], None]]
-    ) -> None:
-        self._failure_hook = hook
-        if hook is not None and not self._failure_bridge_armed:
-            self._failure_bridge_armed = True
-            self.bus.subscribe(ev.ProcessFailed, self._bridge_failure)
-
-    def _bridge_creation(self, event: ev.ProcessCreated) -> None:
-        if event.node == self.node.node_id:
-            for hook in list(self.creation_hooks):
-                hook(event.process)
-
-    def _bridge_deletion(self, event: ev.ProcessDeleted) -> None:
-        if event.node == self.node.node_id:
-            for hook in list(self.deletion_hooks):
-                hook(event.process)
-
-    def _bridge_failure(self, event: ev.ProcessFailed) -> None:
-        if self._failure_hook is not None and event.node == self.node.node_id:
-            self._failure_hook(event.process, event.error)
 
     # ------------------------------------------------------------------
     # Process lifecycle

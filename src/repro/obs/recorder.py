@@ -5,11 +5,14 @@ stream.  The raw events are not directly comparable across runs inside
 one process: ``BasicBlock.packet_id`` comes from a process-global
 counter, and the ``packet``/``process``/``error`` payload fields hold
 live objects whose ``repr`` embeds those ids (or memory addresses).
-:class:`EventStreamRecorder` subscribes to every event type and renders
-each event to a stable text line — scalar fields verbatim, payload
-objects reduced to their stable coordinates (a packet becomes
-``src->dst:port/kind/size``, a process becomes its pid/name), ids from
-process-global counters rebased to the first id seen by this recorder.
+:class:`PayloadNormalizer` reduces payload objects to their stable
+coordinates (a packet becomes ``src->dst:port/kind/size``, a process
+becomes its pid/name), rebasing ids from process-global counters to the
+first id seen by this normalizer; :func:`normalize_line` renders one
+event to a stable text line.  :class:`EventStreamRecorder` subscribes to
+every event type and keeps the normalized log; the trace writer in
+:mod:`repro.replay.trace` shares the same normalizer so trace lines and
+recorder lines are byte-identical.
 
 Two identically seeded runs then compare with ``==`` on
 :meth:`EventStreamRecorder.lines`, or by :meth:`fingerprint`.
@@ -22,10 +25,13 @@ the bus ``seq``.  Compare recorded runs against recorded runs.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, Optional, Type
+from typing import Iterable, Iterator, Optional, Tuple, Type
 
 from repro.obs import events as ev
 from repro.obs.bus import Bus
+
+#: Header fields shared by every event (not part of the payload).
+HEADER_FIELDS = ("time", "node", "seq")
 
 
 def _all_event_types() -> list[Type[ev.Event]]:
@@ -34,6 +40,94 @@ def _all_event_types() -> list[Type[ev.Event]]:
         for name in ev.__all__
         if name != "Event"
     ]
+
+
+def iter_payload_fields(event: ev.Event) -> Iterator[Tuple[str, object]]:
+    """Yield ``(name, value)`` for an event's payload fields, in the
+    stable declaration order (base class first), header excluded."""
+    for slot_owner in type(event).__mro__:
+        for name in getattr(slot_owner, "__slots__", ()):
+            if name in HEADER_FIELDS:
+                continue
+            yield name, getattr(event, name)
+
+
+class PayloadNormalizer:
+    """Rebases process-global ids and renders payload objects stably.
+
+    One normalizer per recorded stream: the packet-id rebasing is
+    first-seen order *within that stream*, so two streams of the same
+    seeded run normalize identically even though the process-global
+    ``packet_id`` counter kept climbing between them.
+    """
+
+    __slots__ = ("_packet_ids",)
+
+    def __init__(self) -> None:
+        #: packet_id -> rebased id, assigned in first-seen order.
+        self._packet_ids: dict[int, int] = {}
+
+    def rebase(self, packet_id: int) -> int:
+        rebased = self._packet_ids.get(packet_id)
+        if rebased is None:
+            rebased = len(self._packet_ids) + 1
+            self._packet_ids[packet_id] = rebased
+        return rebased
+
+    def render(self, name: str, value) -> str:
+        """The stable text form of one payload field."""
+        if name == "packet" and value is not None:
+            return (
+                f"pkt#{self.rebase(value.packet_id)}"
+                f"[{value.src}->{value.dst}:{value.port}/{value.kind}"
+                f"/{value.size_bytes}B]"
+            )
+        if name == "process" and value is not None:
+            return f"proc[{value.pid}:{value.name}]"
+        if name == "error" and value is not None:
+            return f"{type(value).__name__}:{value}"
+        return repr(value)
+
+    def structured(self, name: str, value):
+        """A JSON-serializable form of one payload field (used by the
+        trace writer).  Shares the rebasing state with :meth:`render`,
+        so a field rendered in a line and stored structured refer to the
+        same rebased id."""
+        if name == "packet" and value is not None:
+            return {
+                "pkt": self.rebase(value.packet_id),
+                "src": value.src,
+                "dst": value.dst,
+                "port": value.port,
+                "kind": value.kind,
+                "size": value.size_bytes,
+            }
+        if name == "process" and value is not None:
+            return {"pid": value.pid, "name": value.name}
+        if name == "error" and value is not None:
+            return f"{type(value).__name__}:{value}"
+        return value
+
+
+def normalize_line(event: ev.Event, normalizer: PayloadNormalizer) -> str:
+    """Render one event to its stable one-line text form."""
+    fields = [
+        f"{name}={normalizer.render(name, value)}"
+        for name, value in iter_payload_fields(event)
+    ]
+    return (
+        f"{event.seq:06d} t={event.time} node={event.node} "
+        f"{type(event).__name__} " + " ".join(fields)
+    )
+
+
+def stream_fingerprint(lines: Iterable[str]) -> str:
+    """SHA-256 over a normalized stream (byte-identity check)."""
+    digest = hashlib.sha256()
+    for line in lines:
+        digest.update(line.encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
 
 
 class EventStreamRecorder:
@@ -47,8 +141,7 @@ class EventStreamRecorder:
         self.bus = bus
         self._types = list(event_types) if event_types is not None else _all_event_types()
         self._lines: list[str] = []
-        #: packet_id -> rebased id, assigned in first-seen order.
-        self._packet_ids: dict[int, int] = {}
+        self._normalizer = PayloadNormalizer()
         for event_type in self._types:
             bus.subscribe(event_type, self._on_event)
 
@@ -58,37 +151,8 @@ class EventStreamRecorder:
 
     # ------------------------------------------------------------------
 
-    def _rebase(self, packet_id: int) -> int:
-        rebased = self._packet_ids.get(packet_id)
-        if rebased is None:
-            rebased = len(self._packet_ids) + 1
-            self._packet_ids[packet_id] = rebased
-        return rebased
-
-    def _render(self, name: str, value) -> str:
-        if name == "packet" and value is not None:
-            return (
-                f"pkt#{self._rebase(value.packet_id)}"
-                f"[{value.src}->{value.dst}:{value.port}/{value.kind}"
-                f"/{value.size_bytes}B]"
-            )
-        if name == "process" and value is not None:
-            return f"proc[{value.pid}:{value.name}]"
-        if name == "error" and value is not None:
-            return f"{type(value).__name__}:{value}"
-        return repr(value)
-
     def _on_event(self, event: ev.Event) -> None:
-        fields = []
-        for slot_owner in type(event).__mro__:
-            for name in getattr(slot_owner, "__slots__", ()):
-                if name in ("time", "node", "seq"):
-                    continue
-                fields.append(f"{name}={self._render(name, getattr(event, name))}")
-        self._lines.append(
-            f"{event.seq:06d} t={event.time} node={event.node} "
-            f"{type(event).__name__} " + " ".join(fields)
-        )
+        self._lines.append(normalize_line(event, self._normalizer))
 
     # ------------------------------------------------------------------
 
@@ -98,11 +162,7 @@ class EventStreamRecorder:
 
     def fingerprint(self) -> str:
         """SHA-256 over the normalized stream (byte-identity check)."""
-        digest = hashlib.sha256()
-        for line in self._lines:
-            digest.update(line.encode())
-            digest.update(b"\n")
-        return digest.hexdigest()
+        return stream_fingerprint(self._lines)
 
     def __len__(self) -> int:
         return len(self._lines)

@@ -1,0 +1,53 @@
+"""Deterministic record/replay with time-travel queries.
+
+The obs bus already makes every seeded run a typed, reproducible event
+stream; this package turns that stream into a first-class artifact:
+
+* :mod:`repro.replay.trace` — :class:`TraceWriter` subscribes to the bus
+  and persists a run (seed, params, fault plan, normalized events) as a
+  versioned JSONL trace; :class:`Trace` loads one back;
+* :mod:`repro.replay.checkpoint` — periodic :class:`Checkpoint`
+  snapshots (state digests + folded :class:`StateView`) so seeking does
+  not re-fold from t=0;
+* :mod:`repro.replay.replay` — :func:`record_run` / :class:`ReplayWorld`
+  re-execute a trace deterministically and assert byte-identical event
+  streams, reporting the first mismatching event on divergence;
+* :mod:`repro.replay.timetravel` — :class:`TimeTravel` answers ``at(t)``,
+  ``step`` / ``reverse_step``, ``why_halted`` and causal-predecessor
+  queries (Lamport ordering over the trace);
+* :mod:`repro.replay.races` — an offline message-race detector flagging
+  receive-order nondeterminism between traces of the same seed family.
+"""
+
+from repro.replay.checkpoint import Checkpoint, StateView, capture_view, fold_view
+from repro.replay.races import detect_races
+from repro.replay.replay import (
+    ReplayDivergence,
+    ReplayReport,
+    ReplayUnsupported,
+    ReplayWorld,
+    record_run,
+    replay_trace,
+)
+from repro.replay.timetravel import Moment, TimeTravel
+from repro.replay.trace import TRACE_VERSION, Trace, TraceEvent, TraceWriter
+
+__all__ = [
+    "TRACE_VERSION",
+    "Trace",
+    "TraceEvent",
+    "TraceWriter",
+    "Checkpoint",
+    "StateView",
+    "capture_view",
+    "fold_view",
+    "ReplayDivergence",
+    "ReplayReport",
+    "ReplayUnsupported",
+    "ReplayWorld",
+    "record_run",
+    "replay_trace",
+    "Moment",
+    "TimeTravel",
+    "detect_races",
+]

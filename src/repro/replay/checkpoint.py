@@ -1,0 +1,287 @@
+"""Checkpoints: periodic state digests so replay can seek without
+re-folding from t=0.
+
+Agent bodies are Python generators, so a checkpoint cannot deep-copy the
+live cluster and resume it.  Instead a checkpoint stores two things:
+
+* a :class:`StateView` — the debugger-visible digest (process tables,
+  halted sets, in-flight RPC calls, boot epochs, event counts) that can
+  *also* be derived by folding the trace's events, which is how
+  ``at(t)`` seeks: nearest checkpoint at or before the target, then fold
+  the few events in between (:func:`fold_view`);
+* a raw state digest (world clock, RNG state, per-node clock deltas and
+  CPU consumption) used by replay verification: a replayed run must
+  reproduce every checkpoint bit-for-bit, which catches divergence in
+  state the event stream does not spell out.
+
+The fold and the live capture agree *at checkpoint events* by
+construction: every layer mutates its tables before emitting the
+corresponding event, and the trace writer only captures checkpoints on
+network/RPC events (see ``SAFE_CHECKPOINT_EVENTS`` in
+:mod:`repro.replay.trace`), which never land mid-reboot.  One deliberate
+asymmetry: a crashed node's un-completed client calls stay in its (dead)
+client table until reboot swaps the runtime, so the fold keeps them too
+and clears the node's in-flight set on ``NodeRebooted``, not on the
+crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.cluster import Cluster
+
+#: Event type -> the StateView count it increments.
+COUNT_KEYS = {
+    "PacketSent": "packets_sent",
+    "PacketDelivered": "packets_delivered",
+    "PacketDropped": "packets_dropped",
+    "PacketNacked": "packets_nacked",
+    "RpcCallStarted": "rpc_started",
+    "RpcCallCompleted": "rpc_completed",
+    "RpcCallFailed": "rpc_failed",
+    "RpcCallRetried": "rpc_retried",
+    "ProcessCreated": "proc_created",
+    "ProcessDeleted": "proc_deleted",
+    "ProcessFailed": "proc_failed",
+    "FaultInjected": "faults_injected",
+    "FaultHealed": "faults_healed",
+    "NodeRebooted": "node_reboots",
+    "RpcStaleRejected": "rpc_stale_rejected",
+}
+
+#: StateView count key -> the metric series backing the live capture.
+METRIC_SOURCES = {
+    "packets_sent": "ring.packets_sent",
+    "packets_delivered": "ring.packets_delivered",
+    "packets_dropped": "ring.packets_dropped",
+    "packets_nacked": "ring.packets_nacked",
+    "rpc_started": "rpc.calls_started",
+    "rpc_completed": "rpc.calls_completed",
+    "rpc_failed": "rpc.calls_failed",
+    "rpc_retried": "rpc.retransmits",
+    "proc_created": "proc.created",
+    "proc_deleted": "proc.deleted",
+    "proc_failed": "proc.failed",
+    "faults_injected": "faults.injected",
+    "faults_healed": "faults.healed",
+    "node_reboots": "node.reboots",
+    "rpc_stale_rejected": "rpc.stale_rejected",
+}
+
+
+def metric_counts(metrics) -> dict[str, int]:
+    """The live values of every count the view tracks (absolute, since
+    world birth; callers subtract a base snapshot)."""
+    snapshot = metrics.snapshot()
+    return {key: int(snapshot.get(name, 0)) for key, name in METRIC_SOURCES.items()}
+
+
+@dataclass
+class StateView:
+    """The debugger-visible digest of a cluster at one instant.
+
+    All mapping keys are strings (node ids, pids) so a view survives a
+    JSON round trip unchanged and compares with ``==`` against a loaded
+    one.
+    """
+
+    time: int = 0
+    #: node -> pid -> {"name", "priority"} for live processes.
+    processes: dict = field(default_factory=dict)
+    #: node -> sorted pids currently halted.
+    halted: dict = field(default_factory=dict)
+    #: node -> sorted client call ids still in flight.
+    in_flight: dict = field(default_factory=dict)
+    #: node -> boot epoch.
+    epochs: dict = field(default_factory=dict)
+    #: Event counts since the trace writer attached (see COUNT_KEYS).
+    counts: dict = field(default_factory=dict)
+
+    def copy(self) -> "StateView":
+        return StateView(
+            time=self.time,
+            processes={n: {p: dict(d) for p, d in t.items()}
+                       for n, t in self.processes.items()},
+            halted={n: list(pids) for n, pids in self.halted.items()},
+            in_flight={n: list(ids) for n, ids in self.in_flight.items()},
+            epochs=dict(self.epochs),
+            counts=dict(self.counts),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "processes": self.processes,
+            "halted": self.halted,
+            "in_flight": self.in_flight,
+            "epochs": self.epochs,
+            "counts": self.counts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StateView":
+        return cls(
+            time=data["time"],
+            processes=data["processes"],
+            halted=data["halted"],
+            in_flight=data["in_flight"],
+            epochs=data["epochs"],
+            counts=data["counts"],
+        )
+
+
+def capture_view(cluster: "Cluster", base_counts: dict[str, int],
+                 time: int) -> StateView:
+    """Digest the live cluster (the capture side of the equivalence)."""
+    view = StateView(time=time)
+    for node in cluster.nodes:
+        key = str(node.node_id)
+        table = {}
+        halted = []
+        for pid, process in node.supervisor.processes.items():
+            if not process.is_live():
+                continue
+            table[str(pid)] = {"name": process.name, "priority": process.priority}
+            if process.state.name == "HALTED":
+                halted.append(pid)
+        view.processes[key] = table
+        view.halted[key] = sorted(halted)
+        runtime = getattr(node, "rpc", None)
+        calls = []
+        if runtime is not None:
+            calls = [cid for cid, rec in runtime.client_table.items()
+                     if not rec.completed]
+        view.in_flight[key] = sorted(calls)
+        view.epochs[key] = node.epoch
+    current = metric_counts(cluster.world.metrics)
+    view.counts = {key: current[key] - base_counts.get(key, 0) for key in current}
+    return view
+
+
+def empty_view(node_ids, time: int = 0) -> StateView:
+    """A view with every table present but empty (the fold's origin for
+    a cluster observed from birth)."""
+    view = StateView(time=time)
+    for node_id in node_ids:
+        key = str(node_id)
+        view.processes[key] = {}
+        view.halted[key] = []
+        view.in_flight[key] = []
+        view.epochs[key] = 0
+    view.counts = {key: 0 for key in METRIC_SOURCES}
+    return view
+
+
+def apply_event(view: StateView, event) -> None:
+    """Fold one trace event into ``view`` (the derive side).
+
+    ``event`` is anything with ``type`` / ``node`` / ``time`` /
+    ``fields`` attributes (a :class:`~repro.replay.trace.TraceEvent`).
+    """
+    kind = event.type
+    fields = event.fields
+    node = str(event.node)
+    view.time = max(view.time, event.time)
+    count_key = COUNT_KEYS.get(kind)
+    if count_key is not None:
+        view.counts[count_key] = view.counts.get(count_key, 0) + 1
+    if kind == "ProcessCreated":
+        view.processes.setdefault(node, {})[str(fields["pid"])] = {
+            "name": fields["name"], "priority": fields["priority"],
+        }
+    elif kind == "ProcessDeleted":
+        view.processes.get(node, {}).pop(str(fields["pid"]), None)
+        halted = view.halted.get(node)
+        if halted and fields["pid"] in halted:
+            halted.remove(fields["pid"])
+    elif kind == "ProcessHalted":
+        halted = view.halted.setdefault(node, [])
+        if fields["pid"] not in halted:
+            halted.append(fields["pid"])
+            halted.sort()
+    elif kind == "ProcessResumed":
+        halted = view.halted.get(node)
+        if halted and fields["pid"] in halted:
+            halted.remove(fields["pid"])
+    elif kind == "RpcCallStarted":
+        calls = view.in_flight.setdefault(node, [])
+        if fields["call_id"] not in calls:
+            calls.append(fields["call_id"])
+            calls.sort()
+    elif kind in ("RpcCallCompleted", "RpcCallFailed"):
+        calls = view.in_flight.get(node)
+        if calls and fields["call_id"] in calls:
+            calls.remove(fields["call_id"])
+    elif kind == "NodeRebooted":
+        view.epochs[node] = fields["epoch"]
+        # The fresh boot starts with an empty client table; the crashed
+        # boot's un-completed calls die with it here, not at the crash
+        # (the dead table keeps them until the runtime is swapped).
+        view.in_flight[node] = []
+
+
+def fold_view(events, upto_index: int, start: StateView) -> StateView:
+    """Fold ``events[start_index:upto_index]`` onto a copy of ``start``.
+
+    ``start`` must be the view as of some checkpoint whose index gives
+    the slice's origin; callers pass ``events`` already sliced.
+    """
+    view = start.copy()
+    for event in events[:upto_index]:
+        apply_event(view, event)
+    return view
+
+
+def capture_state(cluster: "Cluster") -> dict:
+    """The raw replay-verification digest: deterministic state that the
+    event stream does not spell out (RNG position, clock deltas, CPU)."""
+    rng_state = cluster.world.rng.getstate()
+    nodes = {}
+    for node in cluster.nodes:
+        nodes[str(node.node_id)] = {
+            "name": node.name,
+            "epoch": node.epoch,
+            "crashed": node.crashed,
+            "clock_delta": node.clock.delta,
+            "clock_skew": node.clock.skew,
+            "cpu_consumed": node.supervisor.cpu_consumed,
+        }
+    return {
+        "world_now": cluster.world.now,
+        "events_processed": cluster.world.events_processed,
+        "rng": [rng_state[0], list(rng_state[1]), rng_state[2]],
+        "nodes": nodes,
+    }
+
+
+@dataclass
+class Checkpoint:
+    """One seek point: taken after ``index`` events were recorded."""
+
+    index: int
+    time: int
+    state: dict
+    view: StateView
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "time": self.time,
+            "state": self.state,
+            "view": self.view.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Checkpoint":
+        return cls(
+            index=data["index"],
+            time=data["time"],
+            state=data["state"],
+            view=StateView.from_dict(data["view"]),
+        )
+
+    def __repr__(self) -> str:
+        return f"<Checkpoint index={self.index} t={self.time}>"

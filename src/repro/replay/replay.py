@@ -1,0 +1,209 @@
+"""Deterministic re-execution of a recorded trace.
+
+:func:`record_run` drives a scenario under a :class:`TraceWriter`;
+:class:`ReplayWorld` rebuilds an identical cluster from the trace header
+(seed, names, skews, params, fault plan), re-runs the same scenario, and
+:meth:`ReplayWorld.verify` asserts the replayed event stream is
+byte-identical to the recording — divergence is reported with the first
+mismatching event.  Checkpoints are cross-checked too: the replay must
+reproduce every recorded state digest (RNG position included), which
+catches drift the event stream alone would miss.
+
+The *scenario* (programs, services, workload) is not serializable, so
+both sides take the same ``build(cluster)`` callable; the trace pins
+everything else.  Interactive recordings (``drive.mode == "manual"``,
+e.g. from a live :class:`~repro.debugger.pilgrim.Pilgrim` session)
+support time travel but not re-execution — the debugger's request
+timing is not part of the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.replay.trace import Trace, TraceWriter
+
+
+class ReplayDivergence(AssertionError):
+    """The replayed stream differs from the recording.
+
+    Carries the first mismatching event index, the expected (recorded)
+    and actual (replayed) normalized lines — ``None`` on a length
+    mismatch — and ``kind`` (``"event"``, ``"checkpoint"``, or
+    ``"final_time"``).
+    """
+
+    def __init__(self, kind: str, index: int,
+                 expected: Optional[str], actual: Optional[str]):
+        self.kind = kind
+        self.index = index
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"replay diverged ({kind}) at index {index}:\n"
+            f"  expected: {expected!r}\n"
+            f"  actual:   {actual!r}"
+        )
+
+
+class ReplayUnsupported(RuntimeError):
+    """The trace cannot be re-executed (manually driven recording)."""
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of a verified replay."""
+
+    events: int
+    checkpoints_verified: int
+    final_time: int
+    fingerprint: str
+    identical: bool = True
+    notes: list = field(default_factory=list)
+
+
+def record_run(
+    build: Callable,
+    names: list[str],
+    seed: int = 0,
+    params=None,
+    plan=None,
+    checkpoint_every: Optional[int] = None,
+    run_until: Optional[int] = None,
+    clock_skews: Optional[list[int]] = None,
+    meta: Optional[dict] = None,
+) -> Trace:
+    """Record one scenario run and return the sealed trace.
+
+    ``build(cluster)`` installs programs/services/workload; the rest of
+    the recipe (seed, names, skews, params, plan) lands in the trace
+    header so :class:`ReplayWorld` can repeat it exactly.  The replayer
+    performs the same steps in the same order: build cluster, attach
+    writer, run ``build``, apply the plan, drive.
+    """
+    from repro.cluster import Cluster
+    from repro.faults.plan import Nemesis
+
+    cluster = Cluster(names=names, seed=seed, params=params,
+                      clock_skews=clock_skews)
+    writer = TraceWriter(cluster, plan=plan, checkpoint_every=checkpoint_every,
+                         meta=meta)
+    build(cluster)
+    if plan is not None:
+        Nemesis(cluster, plan)
+    if run_until is not None:
+        cluster.run(until=run_until)
+        drive = {"mode": "until", "until": run_until}
+    else:
+        cluster.run()
+        drive = {"mode": "drain"}
+    return writer.finish(drive=drive)
+
+
+class ReplayWorld:
+    """Re-execute a recorded trace against the same scenario builder."""
+
+    def __init__(self, trace: Trace, build: Callable,
+                 run_until: Optional[int] = None):
+        from repro.cluster import Cluster
+        from repro.faults.plan import Nemesis
+
+        self.trace = trace
+        header = trace.header
+        self.cluster = Cluster(
+            names=list(header["names"]),
+            seed=header["seed"],
+            params=trace.params(),
+            clock_skews=list(header["clock_skews"]),
+        )
+        self.writer = TraceWriter(
+            self.cluster,
+            plan=trace.fault_plan(),
+            checkpoint_every=header.get("checkpoint_every"),
+        )
+        build(self.cluster)
+        plan = trace.fault_plan()
+        if plan is not None:
+            Nemesis(self.cluster, plan)
+        self._run_until = run_until
+        self._replayed: Optional[Trace] = None
+
+    def run(self) -> Trace:
+        """Drive the replay exactly as the recording was driven."""
+        if self._replayed is not None:
+            return self._replayed
+        drive = dict(self.trace.footer.get("drive") or {"mode": "manual"})
+        if self._run_until is not None:
+            drive = {"mode": "until", "until": self._run_until}
+        mode = drive.get("mode")
+        if mode == "until":
+            self.cluster.run(until=drive["until"])
+        elif mode == "drain":
+            self.cluster.run()
+        else:
+            raise ReplayUnsupported(
+                "trace was recorded from a manually driven session; "
+                "re-execution needs a run boundary (pass run_until=...)"
+            )
+        self._replayed = self.writer.finish(drive=drive)
+        return self._replayed
+
+    def verify(self) -> ReplayReport:
+        """Run (if needed) and assert byte-identity with the recording."""
+        recorded = self.trace
+        replayed = self.run()
+        expected_lines = recorded.lines()
+        actual_lines = replayed.lines()
+        for index, (expected, actual) in enumerate(
+            zip(expected_lines, actual_lines)
+        ):
+            if expected != actual:
+                raise ReplayDivergence("event", index, expected, actual)
+        if len(expected_lines) != len(actual_lines):
+            index = min(len(expected_lines), len(actual_lines))
+            expected = expected_lines[index] if index < len(expected_lines) else None
+            actual = actual_lines[index] if index < len(actual_lines) else None
+            raise ReplayDivergence("event", index, expected, actual)
+        if recorded.final_time != replayed.final_time:
+            raise ReplayDivergence(
+                "final_time", len(expected_lines),
+                str(recorded.final_time), str(replayed.final_time),
+            )
+        verified = 0
+        for rec_cp, rep_cp in zip(recorded.checkpoints, replayed.checkpoints):
+            if rec_cp.index != rep_cp.index or rec_cp.time != rep_cp.time:
+                raise ReplayDivergence(
+                    "checkpoint", rec_cp.index,
+                    f"checkpoint at index {rec_cp.index} t={rec_cp.time}",
+                    f"checkpoint at index {rep_cp.index} t={rep_cp.time}",
+                )
+            if rec_cp.view.to_dict() != rep_cp.view.to_dict():
+                raise ReplayDivergence(
+                    "checkpoint", rec_cp.index,
+                    repr(rec_cp.view.to_dict()), repr(rep_cp.view.to_dict()),
+                )
+            if rec_cp.state != rep_cp.state:
+                raise ReplayDivergence(
+                    "checkpoint", rec_cp.index,
+                    "recorded state digest", "replayed state digest differs",
+                )
+            verified += 1
+        if len(recorded.checkpoints) != len(replayed.checkpoints):
+            raise ReplayDivergence(
+                "checkpoint", verified,
+                f"{len(recorded.checkpoints)} checkpoints",
+                f"{len(replayed.checkpoints)} checkpoints",
+            )
+        return ReplayReport(
+            events=len(actual_lines),
+            checkpoints_verified=verified,
+            final_time=replayed.final_time,
+            fingerprint=replayed.fingerprint(),
+        )
+
+
+def replay_trace(trace: Trace, build: Callable,
+                 run_until: Optional[int] = None) -> ReplayReport:
+    """Convenience: rebuild, re-run, and verify in one call."""
+    return ReplayWorld(trace, build, run_until=run_until).verify()

@@ -1,0 +1,336 @@
+"""Versioned JSONL traces of a recorded run.
+
+A trace is one JSON object per line:
+
+* a **header** — trace version, the cluster recipe (seed, node names,
+  clock skews, full ``Params``), the serialized ``FaultPlan``, the
+  checkpoint cadence, and caller metadata.  Everything a replayer needs
+  to rebuild an identical cluster;
+* one **event** line per materialized obs event, carrying both the
+  structured payload (packet ids rebased to first-seen order, processes
+  reduced to pid/name) and the normalized text line — byte-identical to
+  what :class:`~repro.obs.recorder.EventStreamRecorder` produces for the
+  same run, because both render through one shared
+  :class:`~repro.obs.recorder.PayloadNormalizer`;
+* interleaved **checkpoint** lines (see :mod:`repro.replay.checkpoint`);
+* a **footer** — final virtual time, event count, stream fingerprint,
+  and how the run was driven (``until=T`` / drained / manual), which is
+  what tells a replayer how far to run.
+
+Checkpoints are captured *inside the bus subscriber* when an event
+crosses the cadence boundary — never via self-rescheduled world events,
+which would keep the queue from draining and perturb the conservative
+execution windows.  Capture is restricted to network/RPC events
+(``SAFE_CHECKPOINT_EVENTS``): those are emitted from steady states where
+the live tables and the event fold agree exactly (a reboot, by contrast,
+emits its process events while the node is half-rebuilt).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs import events as ev
+from repro.obs.recorder import (
+    PayloadNormalizer,
+    _all_event_types,
+    iter_payload_fields,
+    normalize_line,
+    stream_fingerprint,
+)
+from repro.replay.checkpoint import (
+    Checkpoint,
+    StateView,
+    capture_state,
+    capture_view,
+    metric_counts,
+)
+
+if TYPE_CHECKING:
+    from repro.cluster import Cluster
+    from repro.faults.plan import FaultPlan
+
+TRACE_VERSION = 1
+
+#: Event types a checkpoint may be captured on (see module docstring).
+SAFE_CHECKPOINT_EVENTS = frozenset({
+    "PacketSent",
+    "PacketDelivered",
+    "PacketDropped",
+    "PacketNacked",
+    "RpcCallStarted",
+    "RpcCallCompleted",
+    "RpcCallFailed",
+    "RpcCallRetried",
+})
+
+
+@dataclass
+class TraceEvent:
+    """One recorded obs event: structured payload plus normalized line."""
+
+    index: int
+    type: str
+    time: int
+    node: Optional[int]
+    seq: int
+    fields: dict
+    line: str
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "event",
+            "i": self.index,
+            "type": self.type,
+            "t": self.time,
+            "node": self.node,
+            "seq": self.seq,
+            "fields": self.fields,
+            "line": self.line,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceEvent":
+        return cls(
+            index=data["i"],
+            type=data["type"],
+            time=data["t"],
+            node=data["node"],
+            seq=data["seq"],
+            fields=data["fields"],
+            line=data["line"],
+        )
+
+    def __repr__(self) -> str:
+        return f"<TraceEvent #{self.index} {self.type} t={self.time}>"
+
+
+class Trace:
+    """A fully recorded run: header, events, checkpoints, footer."""
+
+    def __init__(
+        self,
+        header: dict,
+        events: list[TraceEvent],
+        checkpoints: list[Checkpoint],
+        footer: dict,
+    ):
+        self.header = header
+        self.events = events
+        self.checkpoints = checkpoints
+        self.footer = footer
+
+    # -- derived accessors ---------------------------------------------
+
+    @property
+    def seed(self) -> int:
+        return self.header["seed"]
+
+    @property
+    def final_time(self) -> int:
+        return self.footer["final_time"]
+
+    def fault_plan(self) -> Optional["FaultPlan"]:
+        from repro.faults.plan import FaultPlan
+        data = self.header.get("fault_plan")
+        return FaultPlan.from_dict(data) if data is not None else None
+
+    def params(self):
+        from repro.params import Params
+        return Params(**self.header["params"])
+
+    def base_view(self) -> StateView:
+        """The state at recording start (checkpoint #0, always present:
+        agents spawned before the writer attached are invisible to the
+        event stream, so folds must start here, not from empty)."""
+        return self.checkpoints[0].view
+
+    def lines(self) -> list[str]:
+        """The normalized stream, comparable to
+        :meth:`~repro.obs.recorder.EventStreamRecorder.lines`."""
+        return [event.line for event in self.events]
+
+    def fingerprint(self) -> str:
+        return stream_fingerprint(event.line for event in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- persistence ----------------------------------------------------
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"kind": "header", **self.header},
+                                sort_keys=True) + "\n")
+            cp_iter = iter(self.checkpoints)
+            next_cp = next(cp_iter, None)
+            # Checkpoint lines are interleaved at their indices, so a
+            # streaming reader sees them in causal order.
+            for event in self.events:
+                while next_cp is not None and next_cp.index <= event.index:
+                    fh.write(json.dumps({"kind": "checkpoint",
+                                         **next_cp.to_dict()}) + "\n")
+                    next_cp = next(cp_iter, None)
+                fh.write(json.dumps(event.to_dict()) + "\n")
+            while next_cp is not None:
+                fh.write(json.dumps({"kind": "checkpoint",
+                                     **next_cp.to_dict()}) + "\n")
+                next_cp = next(cp_iter, None)
+            fh.write(json.dumps({"kind": "footer", **self.footer}) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "Trace":
+        header: Optional[dict] = None
+        footer: Optional[dict] = None
+        events: list[TraceEvent] = []
+        checkpoints: list[Checkpoint] = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                data = json.loads(line)
+                kind = data.pop("kind", None)
+                if kind == "header":
+                    header = data
+                elif kind == "event":
+                    events.append(TraceEvent.from_dict(data))
+                elif kind == "checkpoint":
+                    checkpoints.append(Checkpoint.from_dict(data))
+                elif kind == "footer":
+                    footer = data
+                else:
+                    raise ValueError(f"unknown trace line kind {kind!r}")
+        if header is None or footer is None:
+            raise ValueError(f"truncated trace file {path}: missing header/footer")
+        if header.get("version") != TRACE_VERSION:
+            raise ValueError(
+                f"trace version {header.get('version')} unsupported "
+                f"(this build reads version {TRACE_VERSION})"
+            )
+        return cls(header, events, checkpoints, footer)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Trace seed={self.header.get('seed')} events={len(self.events)} "
+            f"checkpoints={len(self.checkpoints)}>"
+        )
+
+
+class TraceWriter:
+    """Record a cluster's obs stream (plus checkpoints) into a trace.
+
+    Attach *before* driving the run; recording is itself observable
+    (subscribing materializes otherwise-dormant event types), so a
+    replayer attaches its own writer to reproduce the same stream.
+    """
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        plan: Optional["FaultPlan"] = None,
+        checkpoint_every: Optional[int] = None,
+        meta: Optional[dict] = None,
+    ):
+        self.cluster = cluster
+        self.bus = cluster.world.bus
+        self.header = {
+            "version": TRACE_VERSION,
+            "seed": cluster.seed,
+            "names": list(cluster.names),
+            "clock_skews": list(cluster.clock_skews),
+            "params": asdict(cluster.params),
+            "fault_plan": plan.to_dict() if plan is not None else None,
+            "checkpoint_every": checkpoint_every,
+            "meta": meta or {},
+        }
+        self.events: list[TraceEvent] = []
+        self.checkpoints: list[Checkpoint] = []
+        self._normalizer = PayloadNormalizer()
+        self._types = _all_event_types()
+        self._finished = False
+        #: Metric values at attach; view counts are deltas against this,
+        #: so fold-derived counts (which only see post-attach events)
+        #: line up with live captures.
+        self._base_counts = metric_counts(cluster.world.metrics)
+        self._checkpoint_every = checkpoint_every
+        self._next_checkpoint_at = (
+            cluster.world.now + checkpoint_every
+            if checkpoint_every is not None else None
+        )
+        self._checkpoint_pending = False
+        for event_type in self._types:
+            self.bus.subscribe(event_type, self._on_event)
+        # Checkpoint #0: the state at attach.  Pre-attach history (the
+        # agents' ProcessCreated, boot-time setup) rode the dormant path
+        # and is not in the stream; every fold starts from this base.
+        self._capture_checkpoint(cluster.world.now)
+
+    # ------------------------------------------------------------------
+
+    def _capture_checkpoint(self, time: int) -> None:
+        self.checkpoints.append(Checkpoint(
+            index=len(self.events),
+            time=time,
+            state=capture_state(self.cluster),
+            view=capture_view(self.cluster, self._base_counts, time),
+        ))
+
+    def _on_event(self, event: ev.Event) -> None:
+        index = len(self.events)
+        fields = {
+            name: self._normalizer.structured(name, value)
+            for name, value in iter_payload_fields(event)
+        }
+        self.events.append(TraceEvent(
+            index=index,
+            type=type(event).__name__,
+            time=event.time,
+            node=event.node,
+            seq=event.seq,
+            fields=fields,
+            line=normalize_line(event, self._normalizer),
+        ))
+        if self._next_checkpoint_at is None:
+            return
+        if event.time >= self._next_checkpoint_at:
+            self._checkpoint_pending = True
+        if self._checkpoint_pending and type(event).__name__ in SAFE_CHECKPOINT_EVENTS:
+            self._checkpoint_pending = False
+            while self._next_checkpoint_at <= event.time:
+                self._next_checkpoint_at += self._checkpoint_every
+            self._capture_checkpoint(event.time)
+
+    # ------------------------------------------------------------------
+
+    def detach(self) -> None:
+        for event_type in self._types:
+            self.bus.unsubscribe(event_type, self._on_event)
+
+    def finish(self, drive: Optional[dict] = None) -> Trace:
+        """Stop recording and seal the trace.
+
+        ``drive`` records how the run was driven so a replayer can drive
+        identically: ``{"mode": "until", "until": T}``, ``{"mode":
+        "drain"}``, or ``{"mode": "manual"}`` (interactive sessions,
+        which support time travel but not re-execution).
+        """
+        if self._finished:
+            raise RuntimeError("TraceWriter.finish() called twice")
+        self._finished = True
+        self.detach()
+        footer = {
+            "final_time": self.cluster.world.now,
+            "events": len(self.events),
+            "fingerprint": stream_fingerprint(e.line for e in self.events),
+            "drive": drive or {"mode": "manual"},
+        }
+        return Trace(self.header, self.events, self.checkpoints, footer)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TraceWriter events={len(self.events)} "
+            f"checkpoints={len(self.checkpoints)}>"
+        )

@@ -71,7 +71,7 @@ def test_two_modules_on_one_node():
     dbg = Pilgrim(cluster, home="debugger")
     infos = dbg.connect("app")
     assert infos[0]["modules"] == ["alpha", "beta"]
-    dbg.break_at("app", "beta", line=4)  # j := j + 100
+    dbg.set_breakpoint("app", "beta", line=4)  # j := j + 100
     hit = dbg.wait_for_breakpoint()
     assert hit["module"] == "beta"
     j = dbg.read_var("app", hit["pid"], "j")
@@ -93,8 +93,8 @@ def test_breakpoints_on_two_nodes_both_fire():
         cluster.spawn_vm(name, image, "main")
     dbg = Pilgrim(cluster, home="debugger")
     dbg.connect("a", "b")
-    dbg.break_at("a", "a", line=4)
-    dbg.break_at("b", "b", line=4)
+    dbg.set_breakpoint("a", "a", line=4)
+    dbg.set_breakpoint("b", "b", line=4)
     hit1 = dbg.wait_for_breakpoint()
     dbg.resume(hit1["node"])
     hit2 = dbg.wait_for_breakpoint()

@@ -1,0 +1,110 @@
+"""The unified DebuggerSession protocol and its deprecation shims."""
+
+import pytest
+
+from repro import MS, Cluster, DebuggerSession, Pilgrim
+from repro.debugger.repl import PilgrimRepl
+from repro.live.debugger import LiveDebugger
+
+COUNTER = (
+    "proc main()\n  var i: int := 0\n  while true do\n"
+    "    i := i + 1\n    sleep(1000)\n  end\nend"
+)
+
+
+def _session():
+    cluster = Cluster(names=["app", "debugger"])
+    image = cluster.load_program(COUNTER, "app")
+    cluster.spawn_vm("app", image, "main")
+    dbg = Pilgrim(cluster, home="debugger")
+    dbg.connect("app")
+    return dbg
+
+
+# ----------------------------------------------------------------------
+# One protocol, two backends
+# ----------------------------------------------------------------------
+
+
+def test_both_backends_satisfy_the_protocol():
+    assert issubclass(Pilgrim, DebuggerSession)
+    assert issubclass(LiveDebugger, DebuggerSession)
+    dbg = _session()
+    assert isinstance(dbg, DebuggerSession)
+
+
+def test_status_is_local_and_summarizes_session():
+    dbg = _session()
+    before = dbg.cluster.world.now
+    status = dbg.status()
+    assert dbg.cluster.world.now == before  # no round trips
+    assert status["mode"] == "sim"
+    assert status["connected"] == [dbg.cluster.node("app").node_id]
+    assert status["breakpoints"] == 0
+    assert status["recording"] is False and status["trace_loaded"] is False
+
+
+# ----------------------------------------------------------------------
+# Deprecated aliases (one release of grace)
+# ----------------------------------------------------------------------
+
+
+def test_pilgrim_break_at_alias_warns_and_forwards():
+    dbg = _session()
+    with pytest.warns(DeprecationWarning, match="break_at.*set_breakpoint"):
+        bp = dbg.break_at("app", "app", line=4)
+    assert bp.line == 4
+    with pytest.warns(DeprecationWarning, match="clear.*clear_breakpoint"):
+        dbg.clear(bp)
+    assert dbg.breakpoints == {}
+
+
+def test_live_threads_alias_warns_and_forwards():
+    # No agent needed: the alias forwards to processes() on the instance.
+    dbg = object.__new__(LiveDebugger)
+    dbg.processes = lambda: [{"tid": 1}]
+    with pytest.warns(DeprecationWarning, match="threads.*processes"):
+        assert dbg.threads() == [{"tid": 1}]
+
+
+# ----------------------------------------------------------------------
+# The REPL drives time travel against a recorded trace (acceptance)
+# ----------------------------------------------------------------------
+
+
+def test_repl_time_travel_over_recorded_trace():
+    dbg = _session()
+    repl = PilgrimRepl(dbg)
+    repl.run_script([
+        "record",
+        "break app app 4",
+        "wait",
+        "record stop",
+        "status",
+        "why",
+        "at 1ms",
+        "fstep",
+        "rstep",
+        "causes 3",
+    ])
+    out = "\n".join(repl.lines)
+    assert "recording (finish with 'record stop')" in out
+    assert "* breakpoint:" in out
+    assert "trace loaded" in out
+    assert "trace_loaded: True" in out
+    # why: at the end of the recording the program sits in a breakpoint.
+    assert "halted on nodes" in out
+    assert "BreakpointHit" in out
+    # at/fstep/rstep echo cursor moments.
+    assert "(before first event)" in out or "@#" in out
+
+    # The cursor really moved: at(1ms) then fstep/rstep land back.
+    moment = dbg.at(1 * MS)
+    assert dbg.forward_step().index == moment.index + 1
+    assert dbg.reverse_step().index == moment.index
+
+
+def test_repl_reports_missing_trace_gracefully():
+    repl = PilgrimRepl(_session())
+    repl.run_script(["rstep"])
+    assert any(line.startswith("!no trace loaded") for line in repl.lines)

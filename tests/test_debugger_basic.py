@@ -73,7 +73,7 @@ def test_breakpoint_by_source_line_hits_and_resumes():
     cluster, image, proc, dbg = make_session()
     dbg.connect("app")
     # Line 16 is `i := i + 1` inside the loop.
-    bp = dbg.break_at("app", "app", line=16)
+    bp = dbg.set_breakpoint("app", "app", line=16)
     assert bp.func == "main"
     hit = dbg.wait_for_breakpoint()
     assert hit["proc"] == "main"
@@ -86,7 +86,7 @@ def test_breakpoint_by_source_line_hits_and_resumes():
     dbg.resume("app")
     hit2 = dbg.wait_for_breakpoint()
     assert hit2["line"] == 16
-    dbg.clear(bp)
+    dbg.clear_breakpoint(bp)
     dbg.resume("app")
     dbg.disconnect()
     cluster.run(until=cluster.world.now + 5 * SEC)
@@ -97,7 +97,7 @@ def test_breakpoint_by_source_line_hits_and_resumes():
 def test_backtrace_and_variables_at_breakpoint():
     cluster, image, proc, dbg = make_session()
     dbg.connect("app")
-    dbg.break_at("app", "app", line=17)  # i := i + 1
+    dbg.set_breakpoint("app", "app", line=17)  # i := i + 1
     hit = dbg.wait_for_breakpoint()
     frames = dbg.backtrace("app", hit["pid"])
     assert frames[0]["proc"] == "main"
@@ -117,12 +117,12 @@ def test_backtrace_and_variables_at_breakpoint():
 def test_write_variable_changes_computation():
     cluster, image, proc, dbg = make_session()
     dbg.connect("app")
-    bp = dbg.break_at("app", "app", line=16)
+    bp = dbg.set_breakpoint("app", "app", line=16)
     hit = dbg.wait_for_breakpoint()
     # Jump the loop forward: i := 998 means only two more iterations.
     dbg.write_var("app", hit["pid"], "i", 997)
     dbg.write_var("app", hit["pid"], "total", 0)
-    dbg.clear(bp)
+    dbg.clear_breakpoint(bp)
     dbg.resume("app")
     cluster.run(until=cluster.world.now + 60 * SEC)
     assert image.console == [str(3 * 998 + 3 * 999 + 3 * 1000)]
@@ -131,7 +131,7 @@ def test_write_variable_changes_computation():
 def test_single_step():
     cluster, image, proc, dbg = make_session()
     dbg.connect("app")
-    dbg.break_at("app", "app", line=16)
+    dbg.set_breakpoint("app", "app", line=16)
     hit = dbg.wait_for_breakpoint()
     state = dbg.step("app", hit["pid"])
     regs = state["registers"]
@@ -147,7 +147,7 @@ def test_single_step():
 def test_display_uses_print_operation():
     cluster, image, proc, dbg = make_session()
     dbg.connect("app")
-    dbg.break_at("app", "app", line=11)  # tick: return p.x + p.y
+    dbg.set_breakpoint("app", "app", line=11)  # tick: return p.x + p.y
     hit = dbg.wait_for_breakpoint()
     n = dbg.read_var("app", hit["pid"], "n")
     text = dbg.display("app", hit["pid"], "p")

@@ -43,7 +43,7 @@ def make_two_node_session(seed=0, **params):
 def test_breakpoint_halts_remote_node_too():
     cluster, image, dbg = make_two_node_session()
     dbg.connect("client", "server")
-    dbg.break_at("client", "client", line=4)  # inside compute, after rcall
+    dbg.set_breakpoint("client", "client", line=4)  # inside compute, after rcall
     dbg.wait_for_breakpoint()
     assert cluster.node("client").agent.halted
     # The halt broadcast reached the server's agent (one Basic Block later).
@@ -61,12 +61,12 @@ def test_logical_clocks_agree_after_breakpoints():
     almost the same interruption total."""
     cluster, image, dbg = make_two_node_session()
     dbg.connect("client", "server")
-    bp = dbg.break_at("client", "client", line=3)
+    bp = dbg.set_breakpoint("client", "client", line=3)
     for _ in range(3):
         dbg.wait_for_breakpoint()
         dbg.run_for(50 * MS)  # linger at the breakpoint
         dbg.resume("client")
-    dbg.clear(bp)
+    dbg.clear_breakpoint(bp)
     cluster.run_for(20 * MS)
     clock_client = cluster.node("client").clock
     clock_server = cluster.node("server").clock
@@ -82,7 +82,7 @@ def test_cross_node_backtrace_follows_rpc():
     cluster, image, dbg = make_two_node_session()
     dbg.connect("client", "server")
     # Break inside the *server* procedure while a client call is live.
-    dbg.break_at("server", "server", line=3)  # return a * 2
+    dbg.set_breakpoint("server", "server", line=3)  # return a * 2
     hit = dbg.wait_for_breakpoint()
     assert hit["node"] == cluster.node("server").node_id
     # Find the client process making the call.
@@ -106,7 +106,7 @@ def test_cross_node_backtrace_follows_rpc():
 def test_rpc_info_during_call():
     cluster, image, dbg = make_two_node_session()
     dbg.connect("client", "server")
-    dbg.break_at("server", "server", line=3)
+    dbg.set_breakpoint("server", "server", line=3)
     dbg.wait_for_breakpoint()
     info = dbg.rpc_info("client")
     assert len(info["in_progress"]) == 1

@@ -66,3 +66,13 @@ def test_live_python_debugging():
     assert "ledger frozen = True" in out
     assert "single step -> line" in out
     assert "detached; program still running" in out
+
+
+def test_time_travel():
+    out = run_example("time_travel.py")
+    assert "replay byte-identical: True" in out
+    assert "at 150ms: cursor #" in out
+    assert "reverse_step: now before event #" in out
+    assert "causal history of first delivery" in out
+    assert "races between seeds 1 and 5: 1" in out
+    assert "races between seed 1 and itself: 0" in out

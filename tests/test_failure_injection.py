@@ -96,7 +96,7 @@ def test_forcible_connect_while_halted_cleans_up():
     cluster.spawn_vm("app", image, "main")
     dbg1 = Pilgrim(cluster, home="debugger")
     dbg1.connect("app")
-    bp = dbg1.break_at("app", "app", line=3)
+    bp = dbg1.set_breakpoint("app", "app", line=3)
     dbg1.wait_for_breakpoint()
     agent = cluster.node("app").agent
     assert agent.halted and agent.breakpoints
@@ -118,13 +118,13 @@ def test_two_processes_trapped_then_continue_resumes_both():
     cluster.spawn_vm("app", image, "main")
     dbg = Pilgrim(cluster, home="debugger")
     dbg.connect("app")
-    bp = dbg.break_at("app", "app", line=5)  # i := i + 1 in worker
+    bp = dbg.set_breakpoint("app", "app", line=5)  # i := i + 1 in worker
     first = dbg.wait_for_breakpoint()
     agent = cluster.node("app").agent
     # One worker trapped; the other was halted before reaching the trap.
     assert len(agent.trapped) == 1
     i_before = dbg.read_var("app", first["pid"], "i")
-    dbg.clear(bp)
+    dbg.clear_breakpoint(bp)
     dbg.resume("app")
     cluster.run_for(100 * MS)
     # Both workers are making progress again.

@@ -222,6 +222,34 @@ def test_different_seeds_diverge():
 
 
 # ----------------------------------------------------------------------
+# Plan serialization (traces embed the plan in their header)
+# ----------------------------------------------------------------------
+
+
+def test_fault_plan_dict_round_trip():
+    plan = (FaultPlan()
+            .crash(at=60 * MS, node="server")
+            .reboot(at=200 * MS, node="server")
+            .partition(at=250 * MS, groups=[[0], [1, 2]], duration=100 * MS)
+            .delay(at=360 * MS, duration=400 * MS, extra=5 * MS, jitter=2 * MS)
+            .duplicate(at=360 * MS, duration=400 * MS, probability=0.5)
+            .loss(at=500 * MS, duration=50 * MS, src=0, dst=1, probability=0.25))
+    data = plan.to_dict()
+    restored = FaultPlan.from_dict(data)
+    assert restored.actions == plan.actions
+    # Stable through JSON (what the trace file actually stores).
+    import json
+    assert FaultPlan.from_dict(json.loads(json.dumps(data))).actions == plan.actions
+
+
+def test_fault_plan_from_dict_defaults():
+    data = {"actions": [{"at": 10, "kind": "crash", "node": "app"}]}
+    action = FaultPlan.from_dict(data).actions[0]
+    assert action.probability == 1.0
+    assert action.extra == 0 and action.jitter == 0
+
+
+# ----------------------------------------------------------------------
 # Debugger-side recovery
 # ----------------------------------------------------------------------
 

@@ -1,0 +1,28 @@
+"""Replay the committed golden trace: a cross-commit determinism guard.
+
+The trace file was recorded once (see ``tests/golden_scenario.py``) and
+is committed; replaying it here catches any change that perturbs the
+simulation's event stream — scheduler ordering, RNG consumption, packet
+timing, normalization format — as a first-divergent-event report rather
+than a silent break.  If a change alters the stream *on purpose*,
+regenerate with ``python -m tests.golden_scenario`` and say so in the
+commit.
+"""
+
+from repro import Trace, replay_trace
+from tests.golden_scenario import GOLDEN_PATH, GOLDEN_SEED, build
+
+GOLDEN_FINGERPRINT = (
+    "47ca287c48c83655b4c20871b4aac199e4bc5e67fd3c38be28e6baff1304ecee"
+)
+
+
+def test_golden_trace_replays_byte_identically():
+    trace = Trace.load(GOLDEN_PATH)
+    assert trace.seed == GOLDEN_SEED
+    assert trace.fingerprint() == GOLDEN_FINGERPRINT
+    assert trace.footer["fingerprint"] == GOLDEN_FINGERPRINT
+    report = replay_trace(trace, build)
+    assert report.identical
+    assert report.fingerprint == GOLDEN_FINGERPRINT
+    assert report.checkpoints_verified == len(trace.checkpoints)

@@ -210,7 +210,7 @@ def test_second_debugger_rejected_then_forcible(target):
     assert agent.session_id == dbg2.session_id
     # dbg1's session is dead.
     with pytest.raises(LiveDebuggerError, match="session"):
-        dbg1.threads()
+        dbg1.processes()
     dbg2.disconnect()
     dbg1.close()
     dbg2.close()
@@ -222,7 +222,7 @@ def test_stale_session_rejected(target):
     dbg.connect()
     dbg.session_id = 999_999
     with pytest.raises(LiveDebuggerError, match="session"):
-        dbg.threads()
+        dbg.processes()
     dbg.session_id = agent.session_id
     dbg.disconnect()
     dbg.close()

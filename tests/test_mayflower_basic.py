@@ -17,6 +17,7 @@ from repro.mayflower.syscalls import (
     monitor_wait,
     receive,
 )
+from repro.obs import events as ev
 from repro.params import Params
 from repro.sim import MS, SEC, World
 
@@ -300,10 +301,13 @@ def test_self_and_spawn():
     assert tags["parent"] != tags["child"]
 
 
-def test_process_failure_runs_failure_hook():
+def test_process_failure_emits_bus_event():
     world, node = make_node()
     failures = []
-    node.supervisor.failure_hook = lambda proc, exc: failures.append((proc.name, str(exc)))
+    world.bus.subscribe(
+        ev.ProcessFailed,
+        lambda e: failures.append((e.process.name, str(e.error))),
+    )
 
     def bad():
         yield Cpu(10)
@@ -315,11 +319,11 @@ def test_process_failure_runs_failure_hook():
     assert failures == [("bad", "boom")]
 
 
-def test_creation_and_deletion_hooks():
+def test_creation_and_deletion_bus_events():
     world, node = make_node()
     seen = []
-    node.supervisor.creation_hooks.append(lambda p: seen.append(("new", p.name)))
-    node.supervisor.deletion_hooks.append(lambda p: seen.append(("del", p.name)))
+    world.bus.subscribe(ev.ProcessCreated, lambda e: seen.append(("new", e.name)))
+    world.bus.subscribe(ev.ProcessDeleted, lambda e: seen.append(("del", e.name)))
 
     def body():
         yield Cpu(1)

@@ -1,0 +1,291 @@
+"""Record/replay: byte-identity, checkpoints, time travel, races."""
+
+import pytest
+
+from repro import MS, SEC, Cluster, FaultPlan, Pilgrim, Trace, record_run, replay_trace
+from repro.obs import EventStreamRecorder
+from repro.replay import ReplayDivergence, ReplayUnsupported, ReplayWorld, TimeTravel, detect_races
+
+ECHO_SERVER = "proc echo(x: int) returns int\n  return x\nend"
+
+CHAOS_CLIENT = """
+proc main()
+  var total: int := 0
+  for i := 1 to 12 do
+    var r: int := remote svc.echo(i)
+    if failed(r) then
+      total := total - 100
+    else
+      total := total + r
+    end
+  end
+  print total
+end
+"""
+
+ONE_CALL_CLIENT = """
+proc main()
+  var r: int := remote svc.echo(7)
+  print r
+end
+"""
+
+CHAOS_NAMES = ["client", "server", "debugger"]
+
+
+def build_chaos(cluster):
+    """The PR 2 chaos scenario: a 12-call echo client under a nemesis."""
+    server_image = cluster.load_program(ECHO_SERVER, "server")
+    cluster.rpc("server").export_vm("svc", server_image, {"echo": "echo"})
+    client_image = cluster.load_program(CHAOS_CLIENT, "client")
+    cluster.spawn_vm("client", client_image, "main")
+
+
+def chaos_plan():
+    # Node ids follow CHAOS_NAMES order: client=0, server=1.
+    return (FaultPlan()
+            .crash(at=60 * MS, node="server")
+            .reboot(at=200 * MS, node="server")
+            .partition(at=250 * MS, groups=[[0], [1]], duration=100 * MS)
+            .delay(at=360 * MS, duration=400 * MS, extra=5 * MS, jitter=2 * MS)
+            .duplicate(at=360 * MS, duration=400 * MS, probability=0.5))
+
+
+# ----------------------------------------------------------------------
+# Byte-identical replay (the acceptance bar)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_replay_is_byte_identical_without_faults(seed):
+    trace = record_run(build_chaos, CHAOS_NAMES, seed=seed, run_until=2 * SEC)
+    report = replay_trace(trace, build_chaos)
+    assert report.identical
+    assert report.events == len(trace.events)
+    assert report.fingerprint == trace.fingerprint()
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_replay_is_byte_identical_under_chaos(seed):
+    trace = record_run(build_chaos, CHAOS_NAMES, seed=seed, plan=chaos_plan(),
+                       checkpoint_every=100 * MS, run_until=4 * SEC)
+    assert len(trace.checkpoints) > 1  # base + periodic
+    report = replay_trace(trace, build_chaos)
+    assert report.identical
+    assert report.checkpoints_verified == len(trace.checkpoints)
+    assert report.fingerprint == trace.fingerprint()
+
+
+def test_trace_lines_match_event_stream_recorder():
+    """The trace's normalized stream is byte-identical to what a plain
+    EventStreamRecorder sees of the same run (shared normalizer)."""
+    recorders = []
+
+    def build(cluster):
+        recorders.append(EventStreamRecorder(cluster.world.bus))
+        build_chaos(cluster)
+
+    trace = record_run(build, CHAOS_NAMES, seed=7, plan=chaos_plan(),
+                       run_until=4 * SEC)
+    assert trace.lines() == recorders[0].lines()
+
+
+def test_divergence_reports_first_mismatching_event():
+    trace = record_run(build_chaos, CHAOS_NAMES, seed=1, run_until=2 * SEC)
+    assert len(trace.events) > 11
+    tampered = trace.events[10].line
+    trace.events[10].line = tampered + " TAMPERED"
+    with pytest.raises(ReplayDivergence) as excinfo:
+        replay_trace(trace, build_chaos)
+    exc = excinfo.value
+    assert exc.kind == "event"
+    assert exc.index == 10
+    assert exc.expected.endswith("TAMPERED")
+    assert exc.actual == tampered
+
+
+def test_manual_trace_refuses_re_execution():
+    cluster = Cluster(names=["app", "debugger"], seed=0)
+    dbg = Pilgrim(cluster, home="debugger")
+    writer = dbg.start_recording()
+    cluster.run_for(10 * MS)
+    trace = dbg.stop_recording()
+    assert writer.header["seed"] == 0
+    assert trace.footer["drive"] == {"mode": "manual"}
+    with pytest.raises(ReplayUnsupported):
+        ReplayWorld(trace, lambda cluster: None).run()
+
+
+# ----------------------------------------------------------------------
+# Persistence
+# ----------------------------------------------------------------------
+
+
+def test_trace_save_load_round_trip(tmp_path):
+    trace = record_run(build_chaos, CHAOS_NAMES, seed=2, plan=chaos_plan(),
+                       checkpoint_every=100 * MS, run_until=4 * SEC)
+    path = tmp_path / "run.trace.jsonl"
+    trace.save(path)
+    loaded = Trace.load(path)
+    assert loaded.header == trace.header
+    assert loaded.footer == trace.footer
+    assert loaded.lines() == trace.lines()
+    assert loaded.fingerprint() == trace.fingerprint()
+    assert len(loaded.checkpoints) == len(trace.checkpoints)
+    assert [c.to_dict() for c in loaded.checkpoints] == \
+        [c.to_dict() for c in trace.checkpoints]
+    # The round-tripped trace replays like the original.
+    report = replay_trace(loaded, build_chaos)
+    assert report.identical
+
+
+def test_trace_load_rejects_wrong_version(tmp_path):
+    trace = record_run(build_chaos, CHAOS_NAMES, seed=1, run_until=1 * SEC)
+    trace.header["version"] = 999
+    path = tmp_path / "bad.trace.jsonl"
+    trace.save(path)
+    with pytest.raises(ValueError, match="version 999 unsupported"):
+        Trace.load(path)
+
+
+# ----------------------------------------------------------------------
+# Checkpoints and time travel
+# ----------------------------------------------------------------------
+
+
+def _chaos_trace(seed=3):
+    return record_run(build_chaos, CHAOS_NAMES, seed=seed, plan=chaos_plan(),
+                      checkpoint_every=100 * MS, run_until=4 * SEC)
+
+
+def test_checkpoint_seek_equals_full_fold():
+    """Seeking via a checkpoint must answer exactly like folding the
+    whole prefix from the base."""
+    trace = _chaos_trace()
+    assert len(trace.checkpoints) >= 3
+    fast = TimeTravel(trace)
+    # A checkpoint-stripped twin folds every prefix from the base.
+    slow = TimeTravel(Trace(trace.header, trace.events,
+                            trace.checkpoints[:1], trace.footer))
+    for checkpoint in trace.checkpoints:
+        assert fast.seek(checkpoint.index).view.to_dict() == \
+            checkpoint.view.to_dict()
+    for t in (0, 50 * MS, 150 * MS, 333 * MS, 1 * SEC, 4 * SEC):
+        a, b = fast.at(t), slow.at(t)
+        assert a.index == b.index
+        assert a.view.to_dict() == b.view.to_dict()
+
+
+def test_at_uses_prefix_semantics():
+    trace = _chaos_trace()
+    tt = TimeTravel(trace)
+    assert tt.at(-1).index == 0
+    assert tt.at(trace.final_time).index == len(trace.events)
+    moment = tt.at(100 * MS)
+    # Everything in the prefix happened at or before the target...
+    assert all(e.time <= 100 * MS for e in trace.events[:moment.index])
+    # ...and the cursor cannot be extended without passing it.
+    if moment.index < len(trace.events):
+        assert trace.events[moment.index].time > 100 * MS
+
+
+def test_step_and_reverse_step_are_symmetric():
+    trace = _chaos_trace()
+    tt = TimeTravel(trace)
+    middle = tt.at(200 * MS)
+    forward = tt.step()
+    assert forward.index == middle.index + 1
+    back = tt.reverse_step()
+    assert back.index == middle.index
+    assert back.view.to_dict() == middle.view.to_dict()
+    # Stepping through a region matches folding straight to its end.
+    for _ in range(25):
+        tt.step()
+    stepped = tt.current()
+    assert stepped.view.to_dict() == tt.seek(stepped.index).view.to_dict()
+
+
+def test_lamport_clocks_and_causal_predecessors():
+    trace = _chaos_trace()
+    tt = TimeTravel(trace)
+    clocks = tt.lamport_clocks()
+    assert len(clocks) == len(trace.events)
+    # Every delivery is causally after its send: strictly larger clock.
+    delivered = [e for e in trace.events if e.type == "PacketDelivered"]
+    assert delivered
+    target = delivered[0]
+    history = tt.causal_predecessors(target.index)
+    assert history  # at minimum the matching PacketSent
+    assert all(e.index < target.index for e in history)
+    sends = [e for e in history if e.type == "PacketSent"
+             and e.fields["packet"]["pkt"] == target.fields["packet"]["pkt"]]
+    assert len(sends) >= 1
+    assert all(clocks[e.index] < clocks[target.index] for e in history)
+
+
+def test_why_halted_points_at_breakpoint():
+    cluster = Cluster(names=["app", "debugger"], seed=0)
+    image = cluster.load_program(
+        "proc main()\n  var i: int := 0\n  while true do\n"
+        "    i := i + 1\n    sleep(1000)\n  end\nend",
+        "app",
+    )
+    cluster.spawn_vm("app", image, "main")
+    dbg = Pilgrim(cluster, home="debugger")
+    dbg.connect("app")
+    dbg.start_recording()
+    dbg.set_breakpoint("app", "app", line=4)  # i := i + 1
+    dbg.wait_for_breakpoint()
+    trace = dbg.stop_recording()
+
+    verdict = dbg.why_halted()
+    assert verdict["halted"]
+    assert verdict["cause"] is not None
+    assert verdict["cause"].type == "BreakpointHit"
+    assert verdict["halt_event"].type == "ProcessHalted"
+    assert verdict["since"] >= verdict["cause"].time
+
+    # Rewinding to before the hit answers "not halted".
+    before = dbg.at(verdict["cause"].time - 1)
+    assert before.index <= verdict["cause"].index
+    assert not dbg.why_halted()["halted"]
+    assert trace is dbg.trace
+
+
+# ----------------------------------------------------------------------
+# Message races
+# ----------------------------------------------------------------------
+
+RACE_NAMES = ["alice", "bob", "server", "debugger"]
+
+
+def build_two_clients(cluster):
+    """Two independent clients race their calls into one server under
+    delivery jitter — arrival order at the server is seed-dependent."""
+    server_image = cluster.load_program(ECHO_SERVER, "server")
+    cluster.rpc("server").export_vm("svc", server_image, {"echo": "echo"})
+    for name in ("alice", "bob"):
+        image = cluster.load_program(ONE_CALL_CLIENT, name)
+        cluster.spawn_vm(name, image, "main")
+
+
+def _race_trace(seed):
+    plan = FaultPlan().delay(at=0, duration=1 * SEC, extra=2 * MS, jitter=6 * MS)
+    return record_run(build_two_clients, RACE_NAMES, seed=seed, plan=plan,
+                      run_until=2 * SEC)
+
+
+def test_detector_flags_receive_order_inversion():
+    races = detect_races(_race_trace(seed=1), _race_trace(seed=5))
+    assert races
+    server_id = 2  # RACE_NAMES order
+    race = races[0]
+    assert race.dst == server_id
+    # The racing messages come from the two different clients.
+    assert race.first[0] != race.second[0]
+    # And the runs really did deliver them in opposite relative order.
+    assert (race.pos_a[0] < race.pos_a[1]) and (race.pos_b[0] > race.pos_b[1])
+
+
+def test_same_seed_never_races():
+    assert detect_races(_race_trace(seed=1), _race_trace(seed=1)) == []
