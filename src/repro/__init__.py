@@ -21,9 +21,12 @@ Layers (bottom up): :mod:`repro.sim` (event kernel), :mod:`repro.mayflower`
 (supervisor), :mod:`repro.ring` (network), :mod:`repro.cvm` +
 :mod:`repro.cclu` (language and VM), :mod:`repro.rpc`, :mod:`repro.agent`,
 :mod:`repro.debugger`, :mod:`repro.servers` (debug-aware shared services),
-:mod:`repro.replay` (deterministic record/replay and time travel).
+:mod:`repro.replay` (deterministic record/replay and time travel),
+:mod:`repro.campaign` (parallel chaos campaigns with failure
+minimization).  The full tour lives in ``docs/architecture.md``.
 """
 
+from repro.campaign import CampaignReport, run_grid
 from repro.cluster import Cluster
 from repro.debugger.api import DebuggerSession
 from repro.debugger.pilgrim import (
@@ -51,6 +54,8 @@ __all__ = [
     "UnreachableNodeError",
     "FaultPlan",
     "Nemesis",
+    "CampaignReport",
+    "run_grid",
     "Params",
     "DEFAULT_PARAMS",
     "US",

@@ -1,0 +1,69 @@
+"""Parallel chaos campaigns with automatic failure minimization.
+
+One fault-injection run tells you a failure exists; a *campaign* tells
+you where the failure boundary is.  This package fans a grid of
+(scenario x seed x fault plan) cells across a process pool — each cell
+an isolated deterministic :class:`~repro.sim.world.World` — aggregates
+the verdicts and obs metrics into a canonical report, and hands every
+failing cell to a delta-debugging shrinker that emits a minimal fault
+plan plus a replayable golden trace.
+
+The moving parts:
+
+* :mod:`repro.campaign.scenarios` — the scenario / fault-plan presets a
+  grid is built from (:data:`SCENARIOS`, :data:`PLANS`);
+* :mod:`repro.campaign.runner` — :func:`build_grid`, :func:`shard_cells`,
+  :func:`run_cell`, :func:`run_campaign`, :func:`run_grid`: deterministic
+  sharding and the ``ProcessPoolExecutor`` fan-out;
+* :mod:`repro.campaign.report` — :class:`CampaignReport`: the canonical
+  (worker-count-independent, byte-identical) JSON document and the
+  human summary;
+* :mod:`repro.campaign.shrink` — :func:`shrink_cell`: ddmin over fault
+  actions, window narrowing, and checkpoint-driven horizon bisection
+  down to a minimal reproducer;
+* :mod:`repro.campaign.cli` — ``python -m repro.campaign run|repro|scenarios``.
+
+Typical use::
+
+    from repro.campaign import run_grid
+
+    report = run_grid(["echo"], seeds=[0, 1],
+                      plan_names=["calm", "storm"], workers=4)
+    print(report.summary())
+"""
+
+from repro.campaign.report import REPORT_VERSION, CampaignReport
+from repro.campaign.runner import (
+    CellSpec,
+    build_grid,
+    run_campaign,
+    run_cell,
+    run_grid,
+    shard_cells,
+)
+from repro.campaign.scenarios import (
+    PLANS,
+    SCENARIOS,
+    Scenario,
+    get_plan,
+    get_scenario,
+)
+from repro.campaign.shrink import ShrinkResult, shrink_cell
+
+__all__ = [
+    "REPORT_VERSION",
+    "CampaignReport",
+    "CellSpec",
+    "build_grid",
+    "shard_cells",
+    "run_cell",
+    "run_campaign",
+    "run_grid",
+    "Scenario",
+    "SCENARIOS",
+    "PLANS",
+    "get_scenario",
+    "get_plan",
+    "ShrinkResult",
+    "shrink_cell",
+]

@@ -1,0 +1,7 @@
+"""Module entry point for ``python -m repro.campaign``."""
+
+import sys
+
+from repro.campaign.cli import main
+
+sys.exit(main())

@@ -1,0 +1,156 @@
+"""Command-line front end: ``python -m repro.campaign <subcommand>``.
+
+Three subcommands cover the campaign loop end to end:
+
+* ``run`` — build a (scenario x seed x plan) grid, fan it across
+  workers, print the human summary, optionally write the canonical JSON
+  report and per-failure golden traces;
+* ``repro`` — re-execute a golden trace emitted by the shrinker, verify
+  byte-identity against the recording, and re-check the scenario's
+  invariants (the one-liner the shrink summary hands you);
+* ``scenarios`` — list the shipped scenario and fault-plan catalogues.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+from repro.campaign.runner import run_grid
+from repro.campaign.scenarios import PLANS, SCENARIOS, get_plan, get_scenario
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for the three subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="parallel chaos campaigns with failure minimization",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="run a scenario x seed x plan grid and summarize it"
+    )
+    run.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="scenario to include (repeatable; default: echo)",
+    )
+    run.add_argument(
+        "--seeds", default="0,1", metavar="N,N,...",
+        help="comma-separated seeds (default: 0,1)",
+    )
+    run.add_argument(
+        "--plans", default="calm,crash,partition,jitter", metavar="NAME,...",
+        help="comma-separated fault-plan presets "
+             "(default: calm,crash,partition,jitter)",
+    )
+    run.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="process-pool width; 1 runs inline (default: 1)",
+    )
+    run.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip failure minimization",
+    )
+    run.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the canonical JSON report here",
+    )
+    run.add_argument(
+        "--traces-dir", default=None, metavar="DIR",
+        help="write one golden trace per shrunk failure here",
+    )
+
+    repro = sub.add_parser(
+        "repro", help="re-execute and verify a shrunk golden trace"
+    )
+    repro.add_argument("trace", help="path to a .trace.jsonl file")
+
+    sub.add_parser(
+        "scenarios", help="list shipped scenarios and fault-plan presets"
+    )
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    """Execute the ``run`` subcommand; exit 1 if any cell failed."""
+    scenarios = args.scenario or ["echo"]
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    plan_names = [p.strip() for p in args.plans.split(",") if p.strip()]
+    report = run_grid(
+        scenarios, seeds, plan_names,
+        workers=args.workers,
+        shrink=not args.no_shrink,
+        out_dir=args.traces_dir,
+    )
+    print(report.summary())
+    if args.report:
+        report.save(args.report)
+        print(f"\nreport written to {args.report}")
+    return 1 if report.failed else 0
+
+
+def _cmd_repro(args: argparse.Namespace) -> int:
+    """Execute the ``repro`` subcommand against a golden trace."""
+    from repro.replay.replay import ReplayWorld
+    from repro.replay.trace import Trace
+
+    trace = Trace.load(args.trace)
+    meta = trace.header.get("meta") or {}
+    campaign = meta.get("campaign")
+    if not campaign:
+        print(f"{args.trace}: not a campaign golden trace "
+              "(missing campaign metadata)")
+        return 2
+    scenario = get_scenario(campaign["scenario"])
+    probes: dict = {}
+
+    def build(cluster):
+        probes.update(scenario.build(cluster))
+
+    world = ReplayWorld(trace, build)
+    verify = world.verify()
+    violations = scenario.check(world.cluster, probes)
+    recorded = meta.get("violations", [])
+    print(f"trace:       {args.trace}")
+    print(f"scenario:    {campaign['scenario']} seed={campaign['seed']} "
+          f"plan={campaign['plan_name']}")
+    print(f"replay:      {verify.events} events byte-identical, "
+          f"{verify.checkpoints_verified} checkpoints verified, "
+          f"final_time={verify.final_time}")
+    print(f"fingerprint: {verify.fingerprint}")
+    if violations:
+        print("reproduced violations:")
+        for violation in violations:
+            print(f"  - {violation}")
+    if violations == recorded:
+        print("verdict:     REPRODUCED (violations match the recording)")
+        return 0
+    print("verdict:     DIVERGED from recorded violations:")
+    for violation in recorded:
+        print(f"  recorded: {violation}")
+    return 1
+
+
+def _cmd_scenarios(_args: argparse.Namespace) -> int:
+    """Execute the ``scenarios`` subcommand (catalogue listing)."""
+    print("scenarios:")
+    for name in sorted(SCENARIOS):
+        print(f"  {name:<12} {SCENARIOS[name].description}")
+    print("fault plans:")
+    for name in sorted(PLANS):
+        plan = get_plan(name)
+        doc = (PLANS[name].__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:<12} {len(plan)} actions - {doc}")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "repro": _cmd_repro,
+        "scenarios": _cmd_scenarios,
+    }[args.command]
+    return handler(args)

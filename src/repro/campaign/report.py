@@ -1,0 +1,160 @@
+"""Campaign aggregation: the canonical report and the human summary.
+
+A campaign's value is the *aggregate*: which cells failed, what the
+fleet-wide metrics look like, and what the shrinker distilled each
+failure down to.  :class:`CampaignReport` holds the per-cell results and
+shrink outcomes and renders them two ways:
+
+* :meth:`CampaignReport.canonical_json` — a deterministic JSON document
+  that deliberately excludes anything host- or schedule-dependent
+  (worker count, wall-clock timing).  Two campaigns over the same grid
+  are **byte-identical** regardless of how many workers ran them; tests
+  and CI diff the bytes directly.
+* :meth:`CampaignReport.summary` — the human-facing table: verdict per
+  cell, aggregate obs metrics (via
+  :func:`repro.obs.merge_snapshots`), throughput, and one repro command
+  per shrunk failure.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.metrics import merge_snapshots
+
+#: Bumped when the canonical report layout changes shape.
+REPORT_VERSION = 1
+
+#: Metrics series worth surfacing in the human summary (the full merged
+#: snapshot is always in the canonical report).
+_SUMMARY_METRICS = (
+    "rpc.calls_started",
+    "rpc.calls_completed",
+    "rpc.calls_failed",
+    "ring.packets_sent",
+    "ring.packets_dropped",
+    "faults.injected",
+)
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated outcome of one campaign run.
+
+    ``cells`` are the per-cell result dicts from
+    :func:`repro.campaign.runner.run_cell`, in cell-index order;
+    ``shrinks`` the :meth:`~repro.campaign.shrink.ShrinkResult.to_dict`
+    outputs for every failing cell.  ``workers`` and ``wall_seconds``
+    describe how this particular run was executed and are intentionally
+    *not* part of the canonical document.
+    """
+
+    cells: list = field(default_factory=list)
+    shrinks: list = field(default_factory=list)
+    workers: int = 1
+    wall_seconds: float = 0.0
+
+    # -- verdict accessors ---------------------------------------------
+
+    @property
+    def failed(self) -> list:
+        """The failing cell results, in index order."""
+        return [c for c in self.cells if c["verdict"] == "fail"]
+
+    @property
+    def passed(self) -> list:
+        """The passing cell results, in index order."""
+        return [c for c in self.cells if c["verdict"] == "pass"]
+
+    def merged_metrics(self) -> dict:
+        """One fleet-wide snapshot: every cell's metrics, summed."""
+        return merge_snapshots([c["metrics"] for c in self.cells])
+
+    # -- canonical form -------------------------------------------------
+
+    def canonical_dict(self) -> dict:
+        """The worker-count-independent report body.
+
+        Everything here is a pure function of the grid spec: cell
+        results (already host-free), shrink outcomes, totals, and the
+        merged metrics.  Wall time and worker count are excluded on
+        purpose — they are the two things a parallel run changes.
+        """
+        return {
+            "version": REPORT_VERSION,
+            "cells": self.cells,
+            "shrinks": self.shrinks,
+            "totals": {
+                "cells": len(self.cells),
+                "passed": len(self.passed),
+                "failed": len(self.failed),
+                "events": sum(c["events"] for c in self.cells),
+            },
+            "metrics": self.merged_metrics(),
+        }
+
+    def canonical_json(self) -> str:
+        """Deterministic serialization of :meth:`canonical_dict`."""
+        return json.dumps(self.canonical_dict(), sort_keys=True, indent=2)
+
+    def save(self, path) -> None:
+        """Write the canonical JSON document to ``path``."""
+        Path(path).write_text(self.canonical_json() + "\n", encoding="utf-8")
+
+    # -- human summary --------------------------------------------------
+
+    def throughput(self) -> float:
+        """Cells per wall-clock second for this particular run."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return len(self.cells) / self.wall_seconds
+
+    def summary(self) -> str:
+        """Render the human-facing campaign summary."""
+        lines = [
+            f"campaign: {len(self.cells)} cells, "
+            f"{len(self.passed)} passed, {len(self.failed)} failed "
+            f"({self.workers} worker{'s' if self.workers != 1 else ''}, "
+            f"{self.wall_seconds:.2f}s, "
+            f"{self.throughput():.1f} cells/s)",
+            "",
+            f"  {'cell':<24} {'verdict':<8} {'events':>8} {'final_time':>12}",
+        ]
+        for cell in self.cells:
+            label = f"{cell['scenario']}/s{cell['seed']}/{cell['plan_name']}"
+            lines.append(
+                f"  {label:<24} {cell['verdict']:<8} "
+                f"{cell['events']:>8} {cell['final_time']:>12}"
+            )
+        for cell in self.failed:
+            label = f"{cell['scenario']}/s{cell['seed']}/{cell['plan_name']}"
+            lines.append("")
+            lines.append(f"  FAIL {label}:")
+            for violation in cell["violations"]:
+                lines.append(f"    - {violation}")
+        if self.shrinks:
+            lines.append("")
+            lines.append("  shrunk reproducers:")
+            for shrink in self.shrinks:
+                label = (f"{shrink['scenario']}/s{shrink['seed']}/"
+                         f"{shrink['plan_name']}")
+                lines.append(
+                    f"    {label}: {shrink['original_actions']} -> "
+                    f"{shrink['minimal_actions']} actions "
+                    f"({shrink['minimal_windows']} windows), "
+                    f"horizon {shrink['horizon']} us, "
+                    f"{shrink['trials']} trials"
+                )
+                if shrink.get("repro_command"):
+                    lines.append(f"      $ {shrink['repro_command']}")
+        metrics = self.merged_metrics()
+        shown = [(name, metrics[name]) for name in _SUMMARY_METRICS
+                 if name in metrics]
+        if shown:
+            lines.append("")
+            lines.append("  fleet metrics (all cells merged):")
+            for name, value in shown:
+                lines.append(f"    {name:<24} {value}")
+        return "\n".join(lines)

@@ -1,0 +1,193 @@
+"""The parallel campaign runner.
+
+A campaign is a grid of *cells* — (scenario x seed x fault plan) — each
+executed as one isolated :class:`~repro.cluster.Cluster` in its own
+:class:`~repro.sim.world.World`.  Cells are deterministic given their
+spec, so throughput is embarrassingly parallel: the runner fans shards
+across a ``ProcessPoolExecutor`` and scales with cores.
+
+Reproducibility is structural, not best-effort:
+
+* **Deterministic shard assignment** — cell ``i`` goes to shard
+  ``i % workers`` (:func:`shard_cells`); given a worker count, every run
+  assigns identically.
+* **Worker-independent results** — a cell's result carries no wall-clock
+  or scheduling state, and results are re-sorted by cell index before
+  aggregation, so the canonical report is byte-identical whether the
+  grid ran on one worker or sixteen.  Each result includes the cell's
+  normalized obs-stream fingerprint as evidence.
+
+Failing cells are re-recorded under a
+:class:`~repro.replay.trace.TraceWriter` and handed to the delta-
+debugging shrinker (:mod:`repro.campaign.shrink`), which emits a minimal
+fault plan, a replayable golden trace, and a one-line repro command.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.campaign.report import CampaignReport
+from repro.campaign.scenarios import get_scenario
+from repro.campaign.shrink import shrink_cell
+from repro.cluster import Cluster
+from repro.faults.plan import FaultPlan, Nemesis
+from repro.obs.recorder import EventStreamRecorder, stream_fingerprint
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One grid cell: everything a worker needs to run it, picklable."""
+
+    index: int
+    scenario: str
+    seed: int
+    plan_name: str
+    plan: FaultPlan
+
+    def label(self) -> str:
+        """Short human identifier, e.g. ``echo/s3/storm``."""
+        return f"{self.scenario}/s{self.seed}/{self.plan_name}"
+
+
+def build_grid(
+    scenarios: Sequence[str],
+    seeds: Sequence[int],
+    plans: Sequence[tuple],
+) -> list[CellSpec]:
+    """Cross scenarios x seeds x (name, plan) pairs into ordered cells.
+
+    The order — scenario-major, then seed, then plan — fixes each cell's
+    index, and the index alone determines shard assignment, so the same
+    grid arguments always produce the same campaign regardless of how
+    the work is later distributed.
+    """
+    cells: list[CellSpec] = []
+    for scenario in scenarios:
+        get_scenario(scenario)  # fail fast on typos, before any fork
+        for seed in seeds:
+            for plan_name, plan in plans:
+                cells.append(CellSpec(
+                    index=len(cells),
+                    scenario=scenario,
+                    seed=seed,
+                    plan_name=plan_name,
+                    plan=plan,
+                ))
+    return cells
+
+
+def shard_cells(cells: Sequence[CellSpec], shards: int) -> list[list[CellSpec]]:
+    """Deterministic round-robin assignment: cell ``i`` -> shard ``i % shards``."""
+    if shards < 1:
+        raise ValueError(f"need at least one shard (got {shards})")
+    buckets: list[list[CellSpec]] = [[] for _ in range(shards)]
+    for cell in cells:
+        buckets[cell.index % shards].append(cell)
+    return buckets
+
+
+def run_cell(cell: CellSpec) -> dict:
+    """Execute one grid cell in a fresh isolated world.
+
+    Returns a plain JSON-able dict: the verdict (``pass`` / ``fail``
+    with the violation list), the cell's metrics snapshot, event count,
+    final virtual time, and the normalized obs-stream fingerprint.
+    Nothing in the result depends on the host, the worker, or the
+    wall clock, which is what makes campaign reports byte-identical
+    across worker counts.
+    """
+    scenario = get_scenario(cell.scenario)
+    cluster = Cluster(names=list(scenario.names), seed=cell.seed)
+    recorder = EventStreamRecorder(cluster.world.bus)
+    probes = scenario.build(cluster)
+    if cell.plan.actions:
+        Nemesis(cluster, cell.plan)
+    cluster.run(until=scenario.run_until)
+    violations = scenario.check(cluster, probes)
+    result = {
+        "index": cell.index,
+        "scenario": cell.scenario,
+        "seed": cell.seed,
+        "plan_name": cell.plan_name,
+        "plan": cell.plan.to_dict(),
+        "verdict": "fail" if violations else "pass",
+        "violations": violations,
+        "final_time": cluster.world.now,
+        "events": cluster.world.events_processed,
+        "fingerprint": stream_fingerprint(recorder.lines()),
+        "metrics": cluster.world.metrics.snapshot(),
+    }
+    cluster.close()
+    return result
+
+
+def _run_shard(cells: list[CellSpec]) -> list[dict]:
+    """Worker entry point: run one shard's cells in index order."""
+    return [run_cell(cell) for cell in cells]
+
+
+def run_campaign(
+    cells: Sequence[CellSpec],
+    workers: int = 1,
+    shrink: bool = True,
+    out_dir: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+) -> CampaignReport:
+    """Run a grid, aggregate the verdicts, and shrink the failures.
+
+    ``workers=1`` runs inline (no pool — handy under debuggers and in
+    tests); ``workers>1`` fans the deterministic shards across a process
+    pool.  Shrinking always happens in the parent, sequentially in cell
+    order, so its trials are reproducible too.  ``out_dir`` receives one
+    golden trace per failing cell when given.
+    """
+    cells = list(cells)
+    started = time.perf_counter()
+    if workers <= 1:
+        results = [run_cell(cell) for cell in cells]
+    else:
+        shards = [s for s in shard_cells(cells, workers) if s]
+        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+            shard_results = list(pool.map(_run_shard, shards))
+        results = [result for shard in shard_results for result in shard]
+        results.sort(key=lambda result: result["index"])
+    wall = time.perf_counter() - started
+
+    shrinks: list[dict] = []
+    if shrink:
+        by_index = {cell.index: cell for cell in cells}
+        for result in results:
+            if result["verdict"] != "fail":
+                continue
+            outcome = shrink_cell(
+                by_index[result["index"]],
+                out_dir=out_dir,
+                checkpoint_every=checkpoint_every,
+            )
+            shrinks.append(outcome.to_dict())
+    return CampaignReport(
+        cells=results,
+        shrinks=shrinks,
+        workers=workers,
+        wall_seconds=wall,
+    )
+
+
+def run_grid(
+    scenarios: Sequence[str],
+    seeds: Sequence[int],
+    plan_names: Sequence[str],
+    workers: int = 1,
+    shrink: bool = True,
+    out_dir: Optional[str] = None,
+) -> CampaignReport:
+    """Convenience: build the grid from preset names and run it."""
+    from repro.campaign.scenarios import get_plan
+
+    plans = [(name, get_plan(name)) for name in plan_names]
+    cells = build_grid(scenarios, seeds, plans)
+    return run_campaign(cells, workers=workers, shrink=shrink, out_dir=out_dir)

@@ -1,0 +1,241 @@
+"""The campaign's scenario and fault-plan catalogues.
+
+A :class:`Scenario` is the unit a campaign cell executes: a named,
+deterministic recipe (node names, workload builder, run horizon) plus a
+``check`` that turns the finished cluster into a list of invariant
+violations — an empty list is a *pass* verdict.  Builders and checks are
+module-level functions so a cell is fully described by small picklable
+data (scenario name, seed, plan) and any worker process can run it.
+
+The shipped scenarios wrap the exactly-once echo workload the chaos soak
+uses: every call carries a distinct power of two, so the client's
+printed total is a bitmask of exactly which calls succeeded and safety
+violations (duplicate execution, phantom success) are detectable
+bit-by-bit against the server's execution log.
+
+``PLANS`` is the matching :class:`~repro.faults.plan.FaultPlan` preset
+catalogue; a campaign grid is the cross product scenario x seed x plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.faults.plan import FaultPlan
+from repro.sim.units import MS, SEC
+
+#: Calls per workload; small enough that a cell stays in the low
+#: milliseconds of host time, large enough that faults land mid-run.
+ECHO_CALLS = 12
+
+#: The expected success bitmask when every call lands: 2^ECHO_CALLS - 1.
+ECHO_FULL_MASK = 2 ** ECHO_CALLS - 1
+
+_ECHO_CLIENT = f"""
+proc main()
+  var total: int := 0
+  var done: int := 0
+  var p: int := 1
+  for i := 1 to {ECHO_CALLS} do
+    var r: int := remote svc.echo(p)
+    if failed(r) then
+      done := done + 1
+    else
+      total := total + r
+      done := done + 1
+    end
+    p := p * 2
+  end
+  print total
+  print done
+end
+"""
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One deterministic campaign workload.
+
+    ``build(cluster)`` installs programs/services and returns a *probes*
+    dict (images, server-side logs) that ``check(cluster, probes)``
+    reads after the run to produce the violation list.  Everything else
+    a cell needs (seed, fault plan) rides in the cell spec, so the same
+    scenario sweeps the whole grid.
+    """
+
+    name: str
+    description: str
+    names: tuple
+    run_until: int
+    build: Callable = field(repr=False)
+    check: Callable = field(repr=False)
+
+
+def _echo_build(cluster) -> dict:
+    """Install the echo service and the powers-of-two client."""
+    executed: list = []
+
+    def echo(ctx, x):
+        """Log the execution, then echo the argument back."""
+        executed.append(x)
+        return x
+
+    cluster.rpc("server").export_native("svc", {"echo": echo})
+    client_image = cluster.load_program(_ECHO_CLIENT, "client")
+    cluster.spawn_vm("client", client_image, "main")
+    return {"client_image": client_image, "executed": executed}
+
+
+def _echo_violations(cluster, probes, strict: bool) -> list:
+    """Shared invariant checks for the echo scenarios.
+
+    Safety (both modes): every call reaches a verdict, the server never
+    executes a call twice, and every success the client counted is
+    backed by a real server-side execution.  Liveness (``strict``): no
+    call may fail at all — the full bitmask must come back.
+    """
+    violations: list = []
+    console = probes["client_image"].console
+    if len(console) < 2:
+        violations.append(
+            f"client never finished: console={list(console)!r}"
+        )
+        return violations
+    total, done = int(console[0]), int(console[1])
+    executed = probes["executed"]
+    if done != ECHO_CALLS:
+        violations.append(
+            f"calls without a verdict: done={done} expected={ECHO_CALLS}"
+        )
+    if len(executed) != len(set(executed)):
+        violations.append(
+            f"duplicate server execution: {len(executed)} executions of "
+            f"{len(set(executed))} distinct calls"
+        )
+    executed_mask = sum(set(executed))
+    if total & ~executed_mask:
+        violations.append(
+            f"phantom success: client mask {total:#x} not covered by "
+            f"server mask {executed_mask:#x}"
+        )
+    if strict and total != ECHO_FULL_MASK:
+        violations.append(
+            f"lost calls: success mask {total:#x} "
+            f"expected {ECHO_FULL_MASK:#x}"
+        )
+    return violations
+
+
+def _echo_check_strict(cluster, probes) -> list:
+    """Strict echo verdict: safety plus no-lost-calls liveness."""
+    return _echo_violations(cluster, probes, strict=True)
+
+
+def _echo_check_soak(cluster, probes) -> list:
+    """Soak echo verdict: exactly-once safety only (losses allowed)."""
+    return _echo_violations(cluster, probes, strict=False)
+
+
+#: Registry of shipped scenarios, keyed by name.
+SCENARIOS: dict = {
+    "echo": Scenario(
+        name="echo",
+        description=(
+            "exactly-once echo, strict: every call must succeed "
+            "(fails under any unhealed disruption)"
+        ),
+        names=("client", "server"),
+        run_until=8 * SEC,
+        build=_echo_build,
+        check=_echo_check_strict,
+    ),
+    "echo_soak": Scenario(
+        name="echo_soak",
+        description=(
+            "exactly-once echo, safety only: no duplicate execution, "
+            "no phantom success, every call reaches a verdict"
+        ),
+        names=("client", "server"),
+        run_until=8 * SEC,
+        build=_echo_build,
+        check=_echo_check_soak,
+    ),
+}
+
+
+def _plan_calm() -> FaultPlan:
+    """No faults: the baseline cell of every grid."""
+    return FaultPlan()
+
+
+def _plan_crash() -> FaultPlan:
+    """Fail-stop the server mid-run and never bring it back."""
+    return FaultPlan().crash(at=150 * MS, node="server")
+
+
+def _plan_crash_reboot() -> FaultPlan:
+    """Crash the server, reboot it inside the retransmission budget."""
+    return (FaultPlan()
+            .crash(at=100 * MS, node="server")
+            .reboot(at=300 * MS, node="server"))
+
+
+def _plan_partition() -> FaultPlan:
+    """A healed partition: cut client from server for 150 ms."""
+    return FaultPlan().partition(
+        at=80 * MS, groups=((0,), (1,)), duration=150 * MS
+    )
+
+
+def _plan_jitter() -> FaultPlan:
+    """Delay + duplication + reordering windows; nothing is lost."""
+    return (FaultPlan()
+            .delay(at=50 * MS, duration=1 * SEC, extra=4 * MS, jitter=2 * MS)
+            .duplicate(at=50 * MS, duration=1500 * MS, probability=0.5)
+            .reorder(at=300 * MS, duration=500 * MS, probability=0.3))
+
+
+def _plan_storm() -> FaultPlan:
+    """Everything at once — the shrinker's favourite haystack.
+
+    Only the unrebooted crash is actually fatal to the strict echo
+    scenario; the delay/duplicate/reorder windows and the healed
+    partition are noise the shrinker should strip away.
+    """
+    return (FaultPlan()
+            .delay(at=50 * MS, duration=800 * MS, extra=4 * MS, jitter=2 * MS)
+            .duplicate(at=60 * MS, duration=900 * MS, probability=0.5)
+            .partition(at=80 * MS, groups=((0,), (1,)), duration=100 * MS)
+            .reorder(at=120 * MS, duration=400 * MS, probability=0.3)
+            .crash(at=150 * MS, node="server"))
+
+
+#: Named fault-plan presets; each entry is a zero-argument factory so a
+#: grid gets a fresh plan object per cell.
+PLANS: dict = {
+    "calm": _plan_calm,
+    "crash": _plan_crash,
+    "crash_reboot": _plan_crash_reboot,
+    "partition": _plan_partition,
+    "jitter": _plan_jitter,
+    "storm": _plan_storm,
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name, with a helpful error."""
+    scenario = SCENARIOS.get(name)
+    if scenario is None:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r} (known: {known})")
+    return scenario
+
+
+def get_plan(name: str) -> FaultPlan:
+    """Instantiate a fault-plan preset by name, with a helpful error."""
+    factory = PLANS.get(name)
+    if factory is None:
+        known = ", ".join(sorted(PLANS))
+        raise KeyError(f"unknown fault plan {name!r} (known: {known})")
+    return factory()

@@ -158,7 +158,23 @@ class Cluster:
             for image in node.images:
                 image.rpc_hook = runtime.vm_rcall
 
+    def close(self) -> None:
+        """Release the cluster (see :meth:`repro.sim.world.World.close`).
+
+        Drops the event queue, bus subscriptions, node list, and program
+        table so a worker that builds thousands of short-lived clusters
+        (the campaign runner) frees each one promptly.  The cluster and
+        its world are unusable afterwards.
+        """
+        self.world.close()
+        for node in self.nodes:
+            node.reboot_hooks.clear()
+            node.images.clear()
+        self.nodes.clear()
+        self.programs.clear()
+
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Drive the world (see :meth:`repro.sim.world.World.run`)."""
         return self.world.run(until=until, max_events=max_events)
 
     def run_for(self, duration: int) -> int:

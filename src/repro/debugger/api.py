@@ -69,26 +69,38 @@ class DebuggerSession(Protocol):
     ``isinstance(obj, DebuggerSession)`` checks structurally.
     """
 
-    def connect(self, *args, **kwargs): ...
+    def connect(self, *args, **kwargs):
+        """Open a session with the target node(s)/process."""
 
-    def disconnect(self, *args, **kwargs): ...
+    def disconnect(self, *args, **kwargs):
+        """End the session; the debuggee keeps running."""
 
-    def processes(self, *args, **kwargs): ...
+    def processes(self, *args, **kwargs):
+        """List debuggable processes/threads."""
 
-    def set_breakpoint(self, *args, **kwargs): ...
+    def set_breakpoint(self, *args, **kwargs):
+        """Plant a breakpoint at source coordinates."""
 
-    def clear_breakpoint(self, *args, **kwargs): ...
+    def clear_breakpoint(self, *args, **kwargs):
+        """Remove a previously set breakpoint."""
 
-    def wait_for_breakpoint(self, *args, **kwargs): ...
+    def wait_for_breakpoint(self, *args, **kwargs):
+        """Block until a breakpoint is hit (or time out)."""
 
-    def halt(self, *args, **kwargs): ...
+    def halt(self, *args, **kwargs):
+        """Stop the whole program."""
 
-    def resume(self, *args, **kwargs): ...
+    def resume(self, *args, **kwargs):
+        """Continue the whole program."""
 
-    def step(self, *args, **kwargs): ...
+    def step(self, *args, **kwargs):
+        """Single-step one trapped process."""
 
-    def backtrace(self, *args, **kwargs): ...
+    def backtrace(self, *args, **kwargs):
+        """Stack frames of one process."""
 
-    def read_var(self, *args, **kwargs): ...
+    def read_var(self, *args, **kwargs):
+        """Read a variable in some frame."""
 
-    def status(self, *args, **kwargs): ...
+    def status(self, *args, **kwargs):
+        """Session/debuggee status summary."""

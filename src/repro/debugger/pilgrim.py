@@ -84,6 +84,7 @@ class Breakpoint:
         self.line = line
 
     def key(self) -> tuple:
+        """Identity tuple used to deduplicate/clear breakpoints."""
         return (self.node, self.module, self.func, self.pc)
 
     def __repr__(self) -> str:
@@ -312,6 +313,7 @@ class Pilgrim:
         return info
 
     def disconnect(self) -> None:
+        """End the session on every node; the program keeps running."""
         for address in list(self.connected_nodes):
             try:
                 self._request(address, rq.DISCONNECT)
@@ -325,6 +327,7 @@ class Pilgrim:
     # ------------------------------------------------------------------
 
     def pop_event(self) -> Optional[dict]:
+        """Dequeue the oldest pending agent event, if any."""
         if self.events:
             return self.events.pop(0)
         return None
@@ -402,6 +405,7 @@ class Pilgrim:
     break_at = deprecated_alias("set_breakpoint", "break_at")
 
     def clear_breakpoint(self, bp: Breakpoint) -> None:
+        """Remove a breakpoint previously set on its node."""
         self._request(
             bp.node,
             rq.CLEAR_BREAKPOINT,
@@ -412,10 +416,12 @@ class Pilgrim:
     clear = deprecated_alias("clear_breakpoint", "clear")
 
     def wait_for_breakpoint(self, timeout: int = 10 * SEC) -> dict:
+        """Drive the simulation until some breakpoint is hit."""
         event = self.wait_for_event(rq.EVENT_BREAKPOINT, timeout)
         return {"node": event["node"], **event["data"]}
 
     def wait_for_failure(self, timeout: int = 10 * SEC) -> dict:
+        """Drive the simulation until a process failure is reported."""
         event = self.wait_for_event(rq.EVENT_FAILURE, timeout)
         return {"node": event["node"], **event["data"]}
 
@@ -457,6 +463,7 @@ class Pilgrim:
     # ------------------------------------------------------------------
 
     def processes(self, node: Union[int, str]) -> list[dict]:
+        """The process table of one node."""
         return self._request(node, rq.LIST_PROCESSES)
 
     def all_processes(self) -> dict:
@@ -480,9 +487,11 @@ class Pilgrim:
         return {"nodes": tables, "unreachable": unreachable}
 
     def process_state(self, node: Union[int, str], pid: int) -> dict:
+        """Registers and scheduler state of one process."""
         return self._request(node, rq.PROCESS_STATE, {"pid": pid})
 
     def backtrace(self, node: Union[int, str], pid: int) -> list[dict]:
+        """Stack frames of one process, locals decoded."""
         frames = self._request(node, rq.BACKTRACE, {"pid": pid})
         for frame in frames:
             frame["locals"] = {
@@ -568,6 +577,7 @@ class Pilgrim:
         return result
 
     def read_var(self, node, pid: int, name: str, frame: int = 0) -> Any:
+        """Read a local variable in some frame of a trapped process."""
         return _decode(
             self._request(
                 node, rq.READ_VAR, {"pid": pid, "frame": frame, "name": name}
@@ -575,6 +585,7 @@ class Pilgrim:
         )
 
     def write_var(self, node, pid: int, name: str, value: Any, frame: int = 0) -> None:
+        """Write a local variable in some frame of a trapped process."""
         self._request(
             node,
             rq.WRITE_VAR,
@@ -582,11 +593,13 @@ class Pilgrim:
         )
 
     def read_global(self, node, module: str, name: str) -> Any:
+        """Read a module-level variable on a node."""
         return _decode(
             self._request(node, rq.READ_GLOBAL, {"module": module, "name": name})
         )
 
     def write_global(self, node, module: str, name: str, value: Any) -> None:
+        """Write a module-level variable on a node."""
         self._request(
             node,
             rq.WRITE_GLOBAL,
@@ -621,9 +634,11 @@ class Pilgrim:
     # ------------------------------------------------------------------
 
     def rpc_info(self, node) -> dict:
+        """The node's RPC call tables and recent outcomes (paper §4.3)."""
         return self._request(node, rq.RPC_INFO)
 
     def rpc_server_record(self, node, call_id: int) -> Optional[dict]:
+        """The server-side record of one call, if the server saw it."""
         return self._request(node, rq.RPC_SERVER_RECORD, {"call_id": call_id})
 
     def diagnose_maybe_failure(self, client_node, call_id: int) -> str:
@@ -764,12 +779,14 @@ class Pilgrim:
     # ------------------------------------------------------------------
 
     def convert_debuggee_time(self, date: int) -> int:
+        """Map a real timestamp to the debuggee's logical clock (paper §6.1)."""
         return self.log.convert(date, self.world.now)
 
     def _rpc_convert_time(self, ctx, date: int) -> int:
         return self.log.convert(date, self.world.now)
 
     def total_interruption(self) -> int:
+        """Total virtual time the debugger has held the program halted."""
         return self.log.total_interruption(self.world.now)
 
     def __repr__(self) -> str:

@@ -2,33 +2,14 @@
 
 This is the "user interface" half that the paper assigns to the debugger
 proper.  Commands mirror a classic source-level debugger, extended with
-Pilgrim's distributed operations::
+Pilgrim's distributed operations: breakpoints, distributed backtraces
+that follow RPCs, record/replay, and time-travel queries.
 
-    connect app server        attach to nodes (force with 'connect! ...')
-    disconnect                end the session
-    ps app                    list processes on a node
-    break app app 17          set a breakpoint (node module line)
-    clear 1                   clear breakpoint #1
-    run 100ms                 let the program run for a while
-    wait                      wait for the next breakpoint/failure event
-    bt app 3                  backtrace of pid 3 on node app
-    dbt app 3                 distributed backtrace (follows RPCs)
-    print app 3 x             show a variable via its print operation
-    set app 3 x 42            write a variable (ints/strings)
-    step app 3                single-step a trapped process
-    continue app              resume from the breakpoint
-    halt app                  halt the whole program
-    rpc app                   show RPC call tables / recent outcomes
-    time                      logical/real clocks and interruption total
-    record                    start recording a trace (record/replay)
-    record stop               seal the trace, load it for time travel
-    at 100ms                  jump the time-travel cursor to a moment
-    rstep                     step the cursor one event backwards
-    fstep                     step the cursor one event forwards
-    why                       explain why the program is halted here
-    causes 42                 causal predecessors of trace event #42
-    status                    session summary
-    help                      this text
+Every command is declared once, via the :func:`_command` decorator on
+its handler; the registry (:data:`COMMANDS`) is the single source of
+truth from which both dispatch and the ``help`` text are derived, so the
+help can never drift from what the REPL actually accepts.  Run ``help``
+in a session (or call :func:`help_text`) for the full list.
 
 The REPL is synchronous over virtual time: every command drives the
 simulation just far enough to complete.
@@ -37,6 +18,7 @@ simulation just far enough to complete.
 from __future__ import annotations
 
 import shlex
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.debugger.pilgrim import AgentError, Breakpoint, DebuggerError, Pilgrim
@@ -56,6 +38,7 @@ def parse_duration(text: str) -> int:
 
 
 def parse_value(text: str):
+    """Parse a REPL literal: bool, int, or (quoted) string."""
     if text == "true":
         return True
     if text == "false":
@@ -64,6 +47,48 @@ def parse_value(text: str):
         return int(text)
     except ValueError:
         return text.strip('"')
+
+
+@dataclass(frozen=True)
+class Command:
+    """One REPL command: its name, example usage, and one-line summary."""
+
+    name: str
+    usage: str
+    summary: str
+    handler_name: str
+
+
+#: Registry of every REPL command, in declaration order — the single
+#: source of truth for both dispatch and the generated ``help`` text.
+COMMANDS: dict[str, Command] = {}
+
+
+def _command(usage: str) -> Callable:
+    """Register a ``cmd_*`` method as a REPL command.
+
+    ``usage`` is the example invocation shown by ``help``; the summary
+    is the first line of the handler's docstring, so documenting the
+    handler *is* documenting the command.
+    """
+    def register(method: Callable) -> Callable:
+        name = method.__name__.removeprefix("cmd_")
+        summary = (method.__doc__ or "").strip().splitlines()[0]
+        COMMANDS[name] = Command(
+            name=name, usage=usage, summary=summary,
+            handler_name=method.__name__,
+        )
+        return method
+    return register
+
+
+def help_text() -> str:
+    """Render the ``help`` listing from the command registry."""
+    width = max(len(command.usage) for command in COMMANDS.values())
+    return "\n".join(
+        f"    {command.usage:<{width}}  {command.summary}"
+        for command in COMMANDS.values()
+    )
 
 
 class PilgrimRepl:
@@ -78,6 +103,7 @@ class PilgrimRepl:
         self.done = False
 
     def emit(self, text: str = "") -> None:
+        """Append (and optionally forward) one or more output lines."""
         for line in text.split("\n"):
             self.lines.append(line)
             if self._output is not None:
@@ -91,10 +117,11 @@ class PilgrimRepl:
         if not words:
             return
         command, args = words[0], words[1:]
-        handler = getattr(self, f"cmd_{command.rstrip('!')}", None)
-        if handler is None:
+        entry = COMMANDS.get(command.rstrip("!"))
+        if entry is None:
             self.emit(f"?unknown command {command!r} (try 'help')")
             return
+        handler = getattr(self, entry.handler_name)
         try:
             handler(args, force=command.endswith("!"))
         except (AgentError, DebuggerError) as exc:
@@ -103,6 +130,7 @@ class PilgrimRepl:
             self.emit(f"?bad arguments: {exc}")
 
     def run_script(self, commands: list[str]) -> list[str]:
+        """Execute commands in order (stopping at ``quit``); return output."""
         for command in commands:
             self.emit(f"(pilgrim) {command}")
             self.execute(command)
@@ -114,10 +142,9 @@ class PilgrimRepl:
     # Commands
     # ------------------------------------------------------------------
 
-    def cmd_help(self, args, force=False):
-        self.emit(__doc__.split("::", 1)[1].split('"""')[0].rstrip())
-
+    @_command("connect app server")
     def cmd_connect(self, args, force=False):
+        """attach to nodes (force with 'connect! ...')"""
         infos = self.dbg.connect(*args, force=force)
         for address, info in infos.items():
             failures = info.get("failures") or []
@@ -128,11 +155,15 @@ class PilgrimRepl:
             )
         self.emit(f"session {self.dbg.session_id}")
 
+    @_command("disconnect")
     def cmd_disconnect(self, args, force=False):
+        """end the session"""
         self.dbg.disconnect()
         self.emit("disconnected; program continues")
 
+    @_command("ps app")
     def cmd_ps(self, args, force=False):
+        """list processes on a node"""
         for info in self.dbg.processes(args[0]):
             waiting = f"  waiting on {info['waiting_on']}" if info["waiting_on"] else ""
             exempt = "  [halt-exempt]" if info["halt_exempt"] else ""
@@ -141,7 +172,9 @@ class PilgrimRepl:
                 f"{info['state']:<8}{waiting}{exempt}"
             )
 
+    @_command("break app app 17")
     def cmd_break(self, args, force=False):
+        """set a breakpoint (node module line)"""
         node, module, line = args[0], args[1], int(args[2])
         bp = self.dbg.set_breakpoint(node, module, line=line)
         self._bp_counter += 1
@@ -151,18 +184,24 @@ class PilgrimRepl:
             f"line {bp.line} (pc {bp.pc}) on node {node}"
         )
 
+    @_command("clear 1")
     def cmd_clear(self, args, force=False):
+        """clear breakpoint #1"""
         number = int(args[0])
         bp = self.breakpoints.pop(number)
         self.dbg.clear_breakpoint(bp)
         self.emit(f"cleared breakpoint #{number}")
 
+    @_command("run 100ms")
     def cmd_run(self, args, force=False):
+        """let the program run for a while"""
         duration = parse_duration(args[0]) if args else 100 * MS
         self.dbg.run_for(duration)
         self.emit(f"ran for {args[0] if args else '100ms'}")
 
+    @_command("wait")
     def cmd_wait(self, args, force=False):
+        """wait for the next breakpoint/failure event"""
         timeout = parse_duration(args[0]) if args else 30 * SEC
         event = self.dbg.wait_for_event(timeout=timeout)
         data = event["data"]
@@ -179,11 +218,15 @@ class PilgrimRepl:
         else:
             self.emit(f"* event: {event['event']} {data}")
 
+    @_command("bt app 3")
     def cmd_bt(self, args, force=False):
+        """backtrace of pid 3 on node app"""
         node, pid = args[0], int(args[1])
         self._print_frames(self.dbg.backtrace(node, pid))
 
+    @_command("dbt app 3")
     def cmd_dbt(self, args, force=False):
+        """distributed backtrace (follows RPCs)"""
         node, pid = args[0], int(args[1])
         frames = self.dbg.distributed_backtrace(node, pid)
         self._print_frames(frames, show_node=True)
@@ -204,18 +247,24 @@ class PilgrimRepl:
                 f"line {frame['line']}  locals: {local_names}"
             )
 
+    @_command("print app 3 x")
     def cmd_print(self, args, force=False):
+        """show a variable via its print operation"""
         node, pid, name = args[0], int(args[1]), args[2]
         frame = int(args[3]) if len(args) > 3 else 0
         text = self.dbg.display(node, pid, name, frame=frame)
         self.emit(f"  {name} = {text}")
 
+    @_command("set app 3 x 42")
     def cmd_set(self, args, force=False):
+        """write a variable (ints/strings)"""
         node, pid, name, value = args[0], int(args[1]), args[2], parse_value(args[3])
         self.dbg.write_var(node, pid, name, value)
         self.emit(f"  {name} := {value}")
 
+    @_command("step app 3")
     def cmd_step(self, args, force=False):
+        """single-step a trapped process"""
         node, pid = args[0], int(args[1])
         state = self.dbg.step(node, pid)
         regs = state["registers"]
@@ -224,15 +273,21 @@ class PilgrimRepl:
             f"pc {regs.get('pc')}"
         )
 
+    @_command("continue app")
     def cmd_continue(self, args, force=False):
+        """resume from the breakpoint"""
         self.dbg.resume(args[0])
         self.emit("continuing")
 
+    @_command("halt app")
     def cmd_halt(self, args, force=False):
+        """halt the whole program"""
         self.dbg.halt(args[0])
         self.emit("program halted")
 
+    @_command("rpc app")
     def cmd_rpc(self, args, force=False):
+        """show RPC call tables / recent outcomes"""
         info = self.dbg.rpc_info(args[0])
         self.emit(f"  in progress ({len(info['in_progress'])}):")
         for call in info["in_progress"]:
@@ -252,7 +307,9 @@ class PilgrimRepl:
         )
         self.emit(f"  recent outcomes: {recent or '-'}")
 
+    @_command("time")
     def cmd_time(self, args, force=False):
+        """logical/real clocks and interruption total"""
         for address in self.dbg.connected_nodes:
             node = self.dbg.cluster.node(address)
             self.emit(
@@ -284,7 +341,9 @@ class PilgrimRepl:
         counts = ", ".join(f"{k}={v}" for k, v in sorted(view.counts.items()) if v)
         self.emit(f"  counts: {counts or '-'}")
 
+    @_command("record [stop]")
     def cmd_record(self, args, force=False):
+        """start recording; 'record stop' seals the trace for time travel"""
         if args and args[0] == "stop":
             trace = self.dbg.stop_recording()
             self.emit(
@@ -295,16 +354,24 @@ class PilgrimRepl:
             self.dbg.start_recording()
             self.emit("recording (finish with 'record stop')")
 
+    @_command("at 100ms")
     def cmd_at(self, args, force=False):
+        """jump the time-travel cursor to a moment"""
         self._print_moment(self.dbg.at(parse_duration(args[0])))
 
+    @_command("rstep")
     def cmd_rstep(self, args, force=False):
+        """step the cursor one event backwards"""
         self._print_moment(self.dbg.reverse_step())
 
+    @_command("fstep")
     def cmd_fstep(self, args, force=False):
+        """step the cursor one event forwards"""
         self._print_moment(self.dbg.forward_step())
 
+    @_command("why")
     def cmd_why(self, args, force=False):
+        """explain why the program is halted here"""
         node = self.dbg.cluster.node(args[0]).node_id if args else None
         verdict = self.dbg.why_halted(node)
         if not verdict["halted"]:
@@ -316,14 +383,25 @@ class PilgrimRepl:
         if verdict.get("cause") is not None:
             self.emit(f"  cause:      {verdict['cause'].line}")
 
+    @_command("causes 42")
     def cmd_causes(self, args, force=False):
+        """causal predecessors of trace event #42"""
         for event in self.dbg.causal_predecessors(int(args[0])):
             self.emit(f"  #{event.index:<4} {event.line}")
 
+    @_command("status")
     def cmd_status(self, args, force=False):
+        """session summary"""
         for key, value in self.dbg.status().items():
             self.emit(f"  {key}: {value}")
 
+    @_command("help")
+    def cmd_help(self, args, force=False):
+        """this text"""
+        self.emit(help_text())
+
+    @_command("quit")
     def cmd_quit(self, args, force=False):
+        """leave the REPL"""
         self.done = True
         self.emit("bye")

@@ -48,6 +48,7 @@ class BreakpointLog:
         bus.subscribe_many(END_EVENTS, self._on_end_event)
 
     def detach(self) -> None:
+        """Unsubscribe from the bus (idempotent)."""
         if self._bus is None:
             return
         self._bus.unsubscribe_many(BEGIN_EVENTS, self._on_begin_event)
@@ -61,11 +62,13 @@ class BreakpointLog:
         self.end(event.time)
 
     def begin(self, real_time: int) -> None:
+        """Open an interruption interval at real ``real_time``."""
         if self.entries and self.entries[-1][1] is None:
             return  # already inside an interruption
         self.entries.append([real_time, None])
 
     def end(self, real_time: int) -> None:
+        """Close the open interruption interval, if any."""
         if self.entries and self.entries[-1][1] is None:
             self.entries[-1][1] = real_time
 
@@ -82,6 +85,7 @@ class BreakpointLog:
         return total
 
     def total_interruption(self, now: int) -> int:
+        """Total halted time accumulated up to real ``now``."""
         return self.halted_time_before(now, now=now)
 
     def convert(self, date: int, now: int) -> int:

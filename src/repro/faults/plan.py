@@ -68,9 +68,11 @@ class FaultPlan:
         return self
 
     def crash(self, at: int, node: NodeRef) -> "FaultPlan":
+        """Fail-stop ``node`` at time ``at`` (volatile state is lost)."""
         return self._add(FaultAction(at, "crash", node=node))
 
     def reboot(self, at: int, node: NodeRef) -> "FaultPlan":
+        """Restart a crashed ``node`` at time ``at``."""
         return self._add(FaultAction(at, "reboot", node=node))
 
     def partition(
@@ -79,16 +81,19 @@ class FaultPlan:
         groups: Sequence[Sequence[int]],
         duration: Optional[int] = None,
     ) -> "FaultPlan":
+        """Split the network into ``groups`` at ``at``; heal after ``duration``."""
         frozen = tuple(tuple(group) for group in groups)
         return self._add(
             FaultAction(at, "partition", groups=frozen, duration=duration)
         )
 
     def heal(self, at: int) -> "FaultPlan":
+        """Remove every partition at time ``at``."""
         return self._add(FaultAction(at, "heal"))
 
     def loss(self, at: int, duration: int, probability: float = 1.0,
              src: Optional[int] = None, dst: Optional[int] = None) -> "FaultPlan":
+        """Silently drop matching packets for ``duration`` with ``probability``."""
         return self._add(FaultAction(
             at, "loss", duration=duration, probability=probability,
             src=src, dst=dst,
@@ -96,6 +101,7 @@ class FaultPlan:
 
     def nack(self, at: int, duration: int, probability: float = 1.0,
              src: Optional[int] = None, dst: Optional[int] = None) -> "FaultPlan":
+        """Drop matching packets *with* sender notification (NACK) for ``duration``."""
         return self._add(FaultAction(
             at, "nack", duration=duration, probability=probability,
             src=src, dst=dst,
@@ -103,6 +109,7 @@ class FaultPlan:
 
     def delay(self, at: int, duration: int, extra: int, jitter: int = 0,
               src: Optional[int] = None, dst: Optional[int] = None) -> "FaultPlan":
+        """Add ``extra`` (+- ``jitter``) latency to matching packets for ``duration``."""
         return self._add(FaultAction(
             at, "delay", duration=duration, extra=extra, jitter=jitter,
             src=src, dst=dst,
@@ -110,6 +117,7 @@ class FaultPlan:
 
     def duplicate(self, at: int, duration: int, probability: float = 1.0,
                   src: Optional[int] = None, dst: Optional[int] = None) -> "FaultPlan":
+        """Deliver matching packets twice with ``probability`` for ``duration``."""
         return self._add(FaultAction(
             at, "duplicate", duration=duration, probability=probability,
             src=src, dst=dst,
@@ -117,6 +125,7 @@ class FaultPlan:
 
     def reorder(self, at: int, duration: int, probability: float = 1.0,
                 src: Optional[int] = None, dst: Optional[int] = None) -> "FaultPlan":
+        """Randomly re-queue matching packets with ``probability`` for ``duration``."""
         return self._add(FaultAction(
             at, "reorder", duration=duration, probability=probability,
             src=src, dst=dst,
@@ -124,6 +133,80 @@ class FaultPlan:
 
     def __len__(self) -> int:
         return len(self.actions)
+
+    # ------------------------------------------------------------------
+    # Splitting / merging (the campaign shrinker's step primitives)
+    # ------------------------------------------------------------------
+
+    #: Action kinds that open a window (have a ``duration`` to narrow).
+    WINDOW_KINDS = frozenset({
+        "partition", "loss", "nack", "delay", "duplicate", "reorder",
+    })
+
+    def split(self) -> list["FaultPlan"]:
+        """One single-action plan per action, in plan order.
+
+        ``FaultPlan.merge(plan.split())`` reproduces a time-sorted plan
+        exactly; the shrinker drops members of this list to test smaller
+        plans.  An empty plan splits into an empty list.
+        """
+        return [FaultPlan(actions=[action]) for action in self.actions]
+
+    @classmethod
+    def merge(cls, plans: Sequence["FaultPlan"]) -> "FaultPlan":
+        """Combine plans into one, actions stably sorted by fire time.
+
+        The sort is stable, so overlapping windows keep their relative
+        order within and across the input plans — merging preserves the
+        deterministic firing order of same-time actions.  Merging no
+        plans yields the empty plan.
+        """
+        actions = [action for plan in plans for action in plan.actions]
+        actions.sort(key=lambda action: action.at)
+        return cls(actions=actions)
+
+    def without(self, indices) -> "FaultPlan":
+        """A copy of the plan with the actions at ``indices`` removed."""
+        drop = set(indices)
+        return FaultPlan(actions=[
+            action for i, action in enumerate(self.actions) if i not in drop
+        ])
+
+    def narrowed(self, index: int, factor: int = 2) -> "FaultPlan":
+        """A copy with action ``index``'s fault window cut by ``factor``.
+
+        Only window actions (those with a ``duration``) can be narrowed;
+        the floor is one microsecond.  Raises ``ValueError`` for
+        point-in-time actions (crash/reboot/heal) or un-windowed rules.
+        """
+        action = self.actions[index]
+        if action.duration is None:
+            raise ValueError(
+                f"action #{index} ({action.kind}) has no window to narrow"
+            )
+        shrunk = FaultAction(
+            at=action.at,
+            kind=action.kind,
+            node=action.node,
+            groups=action.groups,
+            duration=max(1, action.duration // factor),
+            probability=action.probability,
+            extra=action.extra,
+            jitter=action.jitter,
+            src=action.src,
+            dst=action.dst,
+        )
+        actions = list(self.actions)
+        actions[index] = shrunk
+        return FaultPlan(actions=actions)
+
+    def window_count(self) -> int:
+        """How many actions open a fault window (the shrinker's size
+        measure: crash/reboot pairs count as one disruption each)."""
+        return sum(
+            1 for action in self.actions
+            if action.kind in self.WINDOW_KINDS or action.kind == "crash"
+        )
 
     # ------------------------------------------------------------------
     # Serialization (the replay trace header embeds the plan)

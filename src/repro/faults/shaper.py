@@ -58,6 +58,7 @@ class FaultRule:
         self.jitter = jitter
 
     def matches(self, packet: "BasicBlock") -> bool:
+        """Does this rule's src/dst scope cover ``packet``?"""
         if self.src is not None and packet.src != self.src:
             return False
         if self.dst is not None and packet.dst != self.dst:
@@ -90,9 +91,11 @@ class LinkShaper:
     # ------------------------------------------------------------------
 
     def partition(self, groups: Sequence[Sequence[int]]) -> None:
+        """Install a partition: packets may not cross group boundaries."""
         self.partition_groups = [set(group) for group in groups]
 
     def heal_partition(self) -> None:
+        """Remove the active partition, if any."""
         self.partition_groups = None
 
     def _group_of(self, node: int) -> int:
@@ -111,10 +114,12 @@ class LinkShaper:
     # ------------------------------------------------------------------
 
     def add_rule(self, rule: FaultRule) -> FaultRule:
+        """Activate a shaping rule; returns it for later removal."""
         self.rules.append(rule)
         return rule
 
     def remove_rule(self, rule: FaultRule) -> None:
+        """Deactivate a rule installed by :meth:`add_rule` (idempotent)."""
         if rule in self.rules:
             self.rules.remove(rule)
 

@@ -23,7 +23,7 @@ dormant path until a debugger attaches — exactly the dormant-agent story.
 
 from repro.obs import events
 from repro.obs.bus import Bus
-from repro.obs.metrics import Metrics, install_default_metrics
+from repro.obs.metrics import Metrics, install_default_metrics, merge_snapshots
 from repro.obs.recorder import EventStreamRecorder
 from repro.obs.report import render_report, summary_rows
 
@@ -32,6 +32,7 @@ __all__ = [
     "Bus",
     "Metrics",
     "install_default_metrics",
+    "merge_snapshots",
     "EventStreamRecorder",
     "render_report",
     "summary_rows",

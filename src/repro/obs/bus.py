@@ -78,6 +78,16 @@ class Bus:
     def has_subscribers(self, event_type: Type[Event]) -> bool:
         return bool(self._subs.get(event_type))
 
+    def clear(self) -> None:
+        """Drop every subscription (world teardown).
+
+        Subscriber closures pin their layer objects (metrics, runtimes,
+        recorders); clearing them breaks the reference cycles so a
+        campaign worker churning through many worlds releases each one
+        promptly instead of waiting for the cycle collector.
+        """
+        self._subs.clear()
+
     def subscriber_count(self, event_type: Type[Event]) -> int:
         return len(self._subs.get(event_type, ()))
 

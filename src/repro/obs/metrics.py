@@ -174,6 +174,47 @@ class Metrics:
         return f"<Metrics series={sorted(self._series)}>"
 
 
+def merge_snapshots(snapshots) -> dict[str, object]:
+    """Combine :meth:`Metrics.snapshot` dicts from several worlds.
+
+    The campaign runner executes every grid cell in an isolated world;
+    this folds their per-cell snapshots into one aggregate: counter and
+    gauge values sum, histogram summaries merge exactly (count and total
+    are additive; the mean is recomputed from the merged totals, not
+    averaged-of-averages; min/max combine).  Input order does not affect
+    the result, so the merge is reproducible regardless of which worker
+    produced which snapshot.
+    """
+    merged: dict[str, object] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.items():
+            if isinstance(value, dict):
+                slot = merged.setdefault(
+                    name, {"count": 0, "total": 0, "min": None, "max": None}
+                )
+                count = value.get("count", 0)
+                # Snapshots carry the mean; recover the sum so merged
+                # means are exact rather than means-of-means.
+                total = value.get(
+                    "total", int(round(value.get("mean", 0) * count))
+                )
+                slot["count"] += count
+                slot["total"] += total
+                for key, pick in (("min", min), ("max", max)):
+                    incoming = value.get(key)
+                    if incoming is None:
+                        continue
+                    slot[key] = (
+                        incoming if slot[key] is None else pick(slot[key], incoming)
+                    )
+            else:
+                merged[name] = merged.get(name, 0) + value
+    for value in merged.values():
+        if isinstance(value, dict):
+            value["mean"] = value["total"] / value["count"] if value["count"] else 0.0
+    return merged
+
+
 def install_default_metrics(bus: Bus, metrics: Metrics) -> None:
     """Subscribe the shipped counters/gauges/histograms to ``bus``.
 

@@ -26,7 +26,9 @@ from repro.replay.replay import (
     ReplayReport,
     ReplayUnsupported,
     ReplayWorld,
+    extract_verdict,
     record_run,
+    replay_prefix,
     replay_trace,
 )
 from repro.replay.timetravel import Moment, TimeTravel
@@ -47,6 +49,8 @@ __all__ = [
     "ReplayWorld",
     "record_run",
     "replay_trace",
+    "replay_prefix",
+    "extract_verdict",
     "Moment",
     "TimeTravel",
     "detect_races",

@@ -101,6 +101,7 @@ class StateView:
     counts: dict = field(default_factory=dict)
 
     def copy(self) -> "StateView":
+        """Deep-enough copy so folds never alias a cached view."""
         return StateView(
             time=self.time,
             processes={n: {p: dict(d) for p, d in t.items()}
@@ -112,6 +113,7 @@ class StateView:
         )
 
     def to_dict(self) -> dict:
+        """Serialize for a checkpoint trace line."""
         return {
             "time": self.time,
             "processes": self.processes,
@@ -123,6 +125,7 @@ class StateView:
 
     @classmethod
     def from_dict(cls, data: dict) -> "StateView":
+        """Rebuild from a checkpoint trace line."""
         return cls(
             time=data["time"],
             processes=data["processes"],
@@ -267,6 +270,7 @@ class Checkpoint:
     view: StateView
 
     def to_dict(self) -> dict:
+        """Serialize for one JSONL checkpoint line."""
         return {
             "index": self.index,
             "time": self.time,
@@ -276,6 +280,7 @@ class Checkpoint:
 
     @classmethod
     def from_dict(cls, data: dict) -> "Checkpoint":
+        """Rebuild from a JSONL checkpoint line."""
         return cls(
             index=data["index"],
             time=data["time"],

@@ -207,3 +207,76 @@ def replay_trace(trace: Trace, build: Callable,
                  run_until: Optional[int] = None) -> ReplayReport:
     """Convenience: rebuild, re-run, and verify in one call."""
     return ReplayWorld(trace, build, run_until=run_until).verify()
+
+
+def extract_verdict(trace: Trace) -> dict:
+    """Fold the failure-relevant facts out of a recorded trace.
+
+    The campaign runner attaches one of these to every failing cell so
+    the report can say *what kind* of failure the trace holds without
+    re-executing it: counts of failed RPC calls / failed processes /
+    stale rejections / injected faults, the distinct failed call ids,
+    and the earliest failure's time and index (where a shrinker or a
+    human should start reading).
+    """
+    counts = {"rpc_failed": 0, "proc_failed": 0,
+              "rpc_stale_rejected": 0, "faults_injected": 0}
+    failed_calls: list[int] = []
+    first_failure: Optional[dict] = None
+    for event in trace.events:
+        key = {
+            "RpcCallFailed": "rpc_failed",
+            "ProcessFailed": "proc_failed",
+            "RpcStaleRejected": "rpc_stale_rejected",
+            "FaultInjected": "faults_injected",
+        }.get(event.type)
+        if key is None:
+            continue
+        counts[key] += 1
+        if event.type == "RpcCallFailed":
+            call_id = event.fields.get("call_id")
+            if call_id is not None and call_id not in failed_calls:
+                failed_calls.append(call_id)
+        if (event.type in ("RpcCallFailed", "ProcessFailed")
+                and first_failure is None):
+            first_failure = {"index": event.index, "time": event.time,
+                             "type": event.type}
+    return {
+        "final_time": trace.final_time,
+        "events": len(trace.events),
+        "fingerprint": trace.footer.get("fingerprint"),
+        "counts": counts,
+        "failed_calls": failed_calls,
+        "first_failure": first_failure,
+    }
+
+
+def replay_prefix(trace: Trace, build: Callable,
+                  checkpoint_index: int) -> ReplayReport:
+    """Checkpoint-seeded partial re-execution.
+
+    Re-executes the recording only up to checkpoint ``checkpoint_index``
+    and verifies the event prefix byte-for-byte — the cheap way to ask
+    "does the run still follow the recording this far?" without paying
+    for the full horizon.  The shrinker's horizon bisection and the
+    campaign ``repro`` command use this to localize the first event a
+    minimized plan actually needs.
+    """
+    checkpoint = trace.checkpoints[checkpoint_index]
+    world = ReplayWorld(trace, build, run_until=checkpoint.time + 1)
+    replayed = world.run()
+    expected = trace.lines()[:checkpoint.index]
+    actual = replayed.lines()[:checkpoint.index]
+    for index, (want, got) in enumerate(zip(expected, actual)):
+        if want != got:
+            raise ReplayDivergence("event", index, want, got)
+    if len(actual) < len(expected):
+        raise ReplayDivergence(
+            "event", len(actual), expected[len(actual)], None
+        )
+    return ReplayReport(
+        events=checkpoint.index,
+        checkpoints_verified=checkpoint_index + 1,
+        final_time=checkpoint.time,
+        fingerprint=replayed.fingerprint(),
+    )

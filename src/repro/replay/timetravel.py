@@ -134,6 +134,7 @@ class TimeTravel:
         return self._moment()
 
     def current(self) -> Moment:
+        """The moment at the cursor, without moving it."""
         return self._moment()
 
     # ------------------------------------------------------------------

@@ -80,6 +80,7 @@ class TraceEvent:
     line: str
 
     def to_dict(self) -> dict:
+        """Serialize as one JSONL trace line payload."""
         return {
             "kind": "event",
             "i": self.index,
@@ -93,6 +94,7 @@ class TraceEvent:
 
     @classmethod
     def from_dict(cls, data: dict) -> "TraceEvent":
+        """Rebuild from a JSONL trace line payload."""
         return cls(
             index=data["i"],
             type=data["type"],
@@ -126,18 +128,22 @@ class Trace:
 
     @property
     def seed(self) -> int:
+        """The recorded run's world seed."""
         return self.header["seed"]
 
     @property
     def final_time(self) -> int:
+        """Virtual time when the recording was sealed."""
         return self.footer["final_time"]
 
     def fault_plan(self) -> Optional["FaultPlan"]:
+        """The recorded fault plan, rebuilt (``None`` when faultless)."""
         from repro.faults.plan import FaultPlan
         data = self.header.get("fault_plan")
         return FaultPlan.from_dict(data) if data is not None else None
 
     def params(self):
+        """The recorded simulation :class:`~repro.params.Params`."""
         from repro.params import Params
         return Params(**self.header["params"])
 
@@ -153,6 +159,7 @@ class Trace:
         return [event.line for event in self.events]
 
     def fingerprint(self) -> str:
+        """Digest of the normalized stream (recomputed, not the footer's)."""
         return stream_fingerprint(event.line for event in self.events)
 
     def __len__(self) -> int:
@@ -161,6 +168,7 @@ class Trace:
     # -- persistence ----------------------------------------------------
 
     def save(self, path) -> None:
+        """Write the trace as versioned JSONL to ``path``."""
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(json.dumps({"kind": "header", **self.header},
                                 sort_keys=True) + "\n")
@@ -182,6 +190,7 @@ class Trace:
 
     @classmethod
     def load(cls, path) -> "Trace":
+        """Load and validate a trace previously written by :meth:`save`."""
         header: Optional[dict] = None
         footer: Optional[dict] = None
         events: list[TraceEvent] = []
@@ -306,6 +315,7 @@ class TraceWriter:
     # ------------------------------------------------------------------
 
     def detach(self) -> None:
+        """Stop observing the bus (idempotent via finish)."""
         for event_type in self._types:
             self.bus.unsubscribe(event_type, self._on_event)
 

@@ -126,6 +126,7 @@ class World:
         self._seq = 0
         self._running = False
         self._stopped = False
+        self._closed = False
         #: While run(until=...) is active, cooperative advancement and
         #: peek_next_time() are capped here so no handler runs past it.
         self._boundary: Optional[int] = None
@@ -304,6 +305,8 @@ class World:
         """
         if self._running:
             raise SimulationError("World.run() is not reentrant")
+        if self._closed:
+            raise SimulationError("world is closed")
         self._running = True
         self._stopped = False
         self._boundary = until
@@ -335,6 +338,28 @@ class World:
     def pending_count(self) -> int:
         """Number of live (non-cancelled) events still queued."""
         return sum(1 for handle in self._queue if not handle.cancelled)
+
+    def close(self) -> None:
+        """Tear the world down cheaply (for high-churn worker pools).
+
+        Cancels every queued event (dropping the closures and their
+        captured node/runtime objects), empties the scheduling indexes,
+        and clears the bus subscriptions.  The world is unusable
+        afterwards; campaign workers call this between grid cells so
+        each finished world is freed by refcounting alone instead of
+        lingering until a full cycle collection.
+        """
+        if self._running:
+            raise SimulationError("cannot close a running world")
+        for handle in self._queue:
+            if not handle.cancelled:
+                handle.cancel()
+        self._queue.clear()
+        self._node_index.clear()
+        self._global_index.clear()
+        self.bus.clear()
+        self._stopped = True
+        self._closed = True
 
     def __repr__(self) -> str:
         return f"<World now={self.now} pending={self.pending_count()}>"

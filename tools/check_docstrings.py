@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Docstring-presence gate for the documented package surface.
+
+Mirrors the ruff ``D1`` (undocumented-*) pydocstyle subset enabled in
+``pyproject.toml`` so contributors without ruff installed can run the
+same check:
+
+    python tools/check_docstrings.py
+
+Scope and exemptions match the ruff configuration: public modules,
+classes, and functions/methods under the gated packages need a
+docstring; anything named with a leading underscore, ``__init__``
+methods, and test files are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Packages whose public surface must be documented (keep in sync with
+#: the ruff D per-file selection in pyproject.toml).
+GATED = (
+    "src/repro/campaign",
+    "src/repro/debugger",
+    "src/repro/faults",
+    "src/repro/replay",
+)
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _check_node(node, path: Path, qualname: str, problems: list) -> None:
+    """Recurse over class/function defs, recording undocumented ones."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            name = child.name
+            inner = f"{qualname}.{name}" if qualname else name
+            if _is_public(name) and ast.get_docstring(child) is None:
+                kind = "class" if isinstance(child, ast.ClassDef) else "def"
+                problems.append(f"{path}:{child.lineno}: {kind} {inner}")
+            # Nested defs inside functions are local helpers, not API.
+            if isinstance(child, ast.ClassDef):
+                _check_node(child, path, inner, problems)
+
+
+def main() -> int:
+    """Scan the gated packages; print violations and return 1 if any."""
+    root = Path(__file__).resolve().parent.parent
+    problems: list = []
+    for gated in GATED:
+        for path in sorted((root / gated).rglob("*.py")):
+            rel = path.relative_to(root)
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            if ast.get_docstring(tree) is None:
+                problems.append(f"{rel}:1: module {path.stem}")
+            _check_node(tree, rel, "", problems)
+    if problems:
+        print(f"{len(problems)} undocumented public definitions:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("docstring check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to existing files.
+
+Scans the repo's user-facing markdown (README.md, DESIGN.md,
+EXPERIMENTS.md, docs/*.md) for inline links and verifies that every
+relative target — stripped of any #fragment — exists on disk relative
+to the file containing the link.  External (http/https/mailto) links
+and bare anchors are skipped.  Exits non-zero listing every broken
+link.  Stdlib only, mirrored by the `docs` job in CI.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+DOC_GLOBS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/*.md")
+
+# Inline markdown links: [text](target).  Images share the syntax.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def collect_files() -> list[Path]:
+    files: list[Path] = []
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(ROOT.glob(pattern)))
+    return files
+
+
+def check_file(path: Path) -> list[str]:
+    errors: list[str] = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = (path.parent / rel).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{path.relative_to(ROOT)}:{lineno}: broken link -> {target}"
+                )
+    return errors
+
+
+def main() -> int:
+    files = collect_files()
+    if not files:
+        print("check_links: no markdown files found", file=sys.stderr)
+        return 1
+    errors: list[str] = []
+    for path in files:
+        errors.extend(check_file(path))
+    if errors:
+        print("\n".join(errors))
+        print(f"\ncheck_links: {len(errors)} broken link(s)")
+        return 1
+    print(f"check_links: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
