@@ -45,6 +45,11 @@ def _build_parser() -> argparse.ArgumentParser:
              "(default: calm,crash,partition,jitter)",
     )
     run.add_argument(
+        "--topologies", default="ring", metavar="NAME,...",
+        help="comma-separated transport fabrics to sweep "
+             "(ring, mesh; default: ring)",
+    )
+    run.add_argument(
         "--workers", type=int, default=1, metavar="N",
         help="process-pool width; 1 runs inline (default: 1)",
     )
@@ -77,11 +82,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     scenarios = args.scenario or ["echo"]
     seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
     plan_names = [p.strip() for p in args.plans.split(",") if p.strip()]
+    topologies = [t.strip() for t in args.topologies.split(",") if t.strip()]
     report = run_grid(
         scenarios, seeds, plan_names,
         workers=args.workers,
         shrink=not args.no_shrink,
         out_dir=args.traces_dir,
+        topologies=topologies,
     )
     print(report.summary())
     if args.report:
@@ -114,7 +121,7 @@ def _cmd_repro(args: argparse.Namespace) -> int:
     recorded = meta.get("violations", [])
     print(f"trace:       {args.trace}")
     print(f"scenario:    {campaign['scenario']} seed={campaign['seed']} "
-          f"plan={campaign['plan_name']}")
+          f"plan={campaign['plan_name']} topology={trace.topology}")
     print(f"replay:      {verify.events} events byte-identical, "
           f"{verify.checkpoints_verified} checkpoints verified, "
           f"final_time={verify.final_time}")

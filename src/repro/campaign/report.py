@@ -39,6 +39,15 @@ _SUMMARY_METRICS = (
 )
 
 
+def _row_label(row: dict) -> str:
+    """Cell/shrink label for summary rows; mirrors ``CellSpec.label``."""
+    label = f"{row['scenario']}/s{row['seed']}/{row['plan_name']}"
+    topology = row.get("topology", "ring")
+    if topology != "ring":
+        label += f"@{topology}"
+    return label
+
+
 @dataclass
 class CampaignReport:
     """Aggregated outcome of one campaign run.
@@ -123,13 +132,13 @@ class CampaignReport:
             f"  {'cell':<24} {'verdict':<8} {'events':>8} {'final_time':>12}",
         ]
         for cell in self.cells:
-            label = f"{cell['scenario']}/s{cell['seed']}/{cell['plan_name']}"
+            label = _row_label(cell)
             lines.append(
                 f"  {label:<24} {cell['verdict']:<8} "
                 f"{cell['events']:>8} {cell['final_time']:>12}"
             )
         for cell in self.failed:
-            label = f"{cell['scenario']}/s{cell['seed']}/{cell['plan_name']}"
+            label = _row_label(cell)
             lines.append("")
             lines.append(f"  FAIL {label}:")
             for violation in cell["violations"]:
@@ -138,8 +147,7 @@ class CampaignReport:
             lines.append("")
             lines.append("  shrunk reproducers:")
             for shrink in self.shrinks:
-                label = (f"{shrink['scenario']}/s{shrink['seed']}/"
-                         f"{shrink['plan_name']}")
+                label = _row_label(shrink)
                 lines.append(
                     f"    {label}: {shrink['original_actions']} -> "
                     f"{shrink['minimal_actions']} actions "

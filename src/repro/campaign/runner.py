@@ -47,36 +47,55 @@ class CellSpec:
     seed: int
     plan_name: str
     plan: FaultPlan
+    topology: str = "ring"
 
     def label(self) -> str:
-        """Short human identifier, e.g. ``echo/s3/storm``."""
-        return f"{self.scenario}/s{self.seed}/{self.plan_name}"
+        """Short human identifier, e.g. ``echo/s3/storm``.
+
+        The transport only appears when it is not the default ring
+        (``echo/s3/storm@mesh``), so single-topology campaign output is
+        unchanged.
+        """
+        base = f"{self.scenario}/s{self.seed}/{self.plan_name}"
+        if self.topology != "ring":
+            base += f"@{self.topology}"
+        return base
 
 
 def build_grid(
     scenarios: Sequence[str],
     seeds: Sequence[int],
     plans: Sequence[tuple],
+    topologies: Sequence[str] = ("ring",),
 ) -> list[CellSpec]:
-    """Cross scenarios x seeds x (name, plan) pairs into ordered cells.
+    """Cross scenarios x seeds x (name, plan) pairs x topologies into
+    ordered cells.
 
-    The order — scenario-major, then seed, then plan — fixes each cell's
-    index, and the index alone determines shard assignment, so the same
-    grid arguments always produce the same campaign regardless of how
-    the work is later distributed.
+    The order — scenario-major, then seed, then plan, then topology —
+    fixes each cell's index, and the index alone determines shard
+    assignment, so the same grid arguments always produce the same
+    campaign regardless of how the work is later distributed.
     """
+    from repro.net import TOPOLOGIES
+
+    for topology in topologies:
+        if topology not in TOPOLOGIES:  # fail fast, before any fork
+            known = ", ".join(sorted(TOPOLOGIES))
+            raise KeyError(f"unknown topology {topology!r} (known: {known})")
     cells: list[CellSpec] = []
     for scenario in scenarios:
         get_scenario(scenario)  # fail fast on typos, before any fork
         for seed in seeds:
             for plan_name, plan in plans:
-                cells.append(CellSpec(
-                    index=len(cells),
-                    scenario=scenario,
-                    seed=seed,
-                    plan_name=plan_name,
-                    plan=plan,
-                ))
+                for topology in topologies:
+                    cells.append(CellSpec(
+                        index=len(cells),
+                        scenario=scenario,
+                        seed=seed,
+                        plan_name=plan_name,
+                        plan=plan,
+                        topology=topology,
+                    ))
     return cells
 
 
@@ -101,7 +120,8 @@ def run_cell(cell: CellSpec) -> dict:
     across worker counts.
     """
     scenario = get_scenario(cell.scenario)
-    cluster = Cluster(names=list(scenario.names), seed=cell.seed)
+    cluster = Cluster(names=list(scenario.names), seed=cell.seed,
+                      topology=cell.topology)
     recorder = EventStreamRecorder(cluster.world.bus)
     probes = scenario.build(cluster)
     if cell.plan.actions:
@@ -113,6 +133,7 @@ def run_cell(cell: CellSpec) -> dict:
         "scenario": cell.scenario,
         "seed": cell.seed,
         "plan_name": cell.plan_name,
+        "topology": cell.topology,
         "plan": cell.plan.to_dict(),
         "verdict": "fail" if violations else "pass",
         "violations": violations,
@@ -184,10 +205,11 @@ def run_grid(
     workers: int = 1,
     shrink: bool = True,
     out_dir: Optional[str] = None,
+    topologies: Sequence[str] = ("ring",),
 ) -> CampaignReport:
     """Convenience: build the grid from preset names and run it."""
     from repro.campaign.scenarios import get_plan
 
     plans = [(name, get_plan(name)) for name in plan_names]
-    cells = build_grid(scenarios, seeds, plans)
+    cells = build_grid(scenarios, seeds, plans, topologies=topologies)
     return run_campaign(cells, workers=workers, shrink=shrink, out_dir=out_dir)

@@ -55,6 +55,7 @@ class ShrinkResult:
     scenario: str
     seed: int
     plan_name: str
+    topology: str
     original_plan: FaultPlan
     minimal_plan: FaultPlan
     violations: list
@@ -73,6 +74,7 @@ class ShrinkResult:
             "scenario": self.scenario,
             "seed": self.seed,
             "plan_name": self.plan_name,
+            "topology": self.topology,
             "original_actions": len(self.original_plan),
             "minimal_actions": len(self.minimal_plan),
             "minimal_windows": self.minimal_plan.window_count(),
@@ -100,7 +102,8 @@ class _CellOracle:
                    run_until: Optional[int] = None) -> list:
         """Execute the cell under ``plan`` and return its violations."""
         self.trials += 1
-        cluster = Cluster(names=list(self.scenario.names), seed=self.cell.seed)
+        cluster = Cluster(names=list(self.scenario.names), seed=self.cell.seed,
+                          topology=self.cell.topology)
         probes = self.scenario.build(cluster)
         if plan.actions:
             Nemesis(cluster, plan)
@@ -176,6 +179,7 @@ def _bisect_horizon(oracle: _CellOracle, plan: FaultPlan,
         plan=plan,
         checkpoint_every=checkpoint_every,
         run_until=scenario.run_until,
+        topology=oracle.cell.topology,
     )
     times = {cp.time for cp in trace.checkpoints if cp.time > 0}
     if trace.events:
@@ -231,11 +235,13 @@ def shrink_cell(
         plan=minimal,
         checkpoint_every=checkpoint_every,
         run_until=horizon,
+        topology=cell.topology,
         meta={
             "campaign": {
                 "scenario": cell.scenario,
                 "seed": cell.seed,
                 "plan_name": cell.plan_name,
+                "topology": cell.topology,
                 "cell_index": cell.index,
             },
             "violations": target,
@@ -246,6 +252,7 @@ def shrink_cell(
         scenario=cell.scenario,
         seed=cell.seed,
         plan_name=cell.plan_name,
+        topology=cell.topology,
         original_plan=cell.plan,
         minimal_plan=minimal,
         violations=target,
@@ -258,9 +265,11 @@ def shrink_cell(
     if out_dir is not None:
         directory = Path(out_dir)
         directory.mkdir(parents=True, exist_ok=True)
-        path = directory / (
-            f"{cell.scenario}_s{cell.seed}_{cell.plan_name}.min.trace.jsonl"
-        )
+        stem = f"{cell.scenario}_s{cell.seed}_{cell.plan_name}"
+        if cell.topology != "ring":
+            stem += f"_{cell.topology}"
+        path = directory / f"{stem}.min.trace.jsonl"
+
         trace.save(path)
         result.trace_path = str(path)
         result.repro_command = f"python -m repro.campaign repro {path}"

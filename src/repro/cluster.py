@@ -19,15 +19,21 @@ from repro.cclu import compile_program
 from repro.cvm.image import NodeImage, Program
 from repro.cvm.interp import VmExecutor
 from repro.mayflower.node import Node
+from repro.net import make_transport
 from repro.params import Params
-from repro.ring.network import Ring
 from repro.rpc.registry import ServiceRegistry
 from repro.rpc.runtime import RpcRuntime
 from repro.sim.world import World
 
 
 class Cluster:
-    """A small distributed system: nodes on a ring with RPC."""
+    """A small distributed system: nodes on a transport fabric with RPC.
+
+    ``topology`` selects the fabric from the :mod:`repro.net` registry —
+    ``"ring"`` (the paper's Cambridge Ring, the default) or ``"mesh"``
+    (switched point-to-point).  The transport is reachable as both
+    ``cluster.net`` and the historical alias ``cluster.ring``.
+    """
 
     def __init__(
         self,
@@ -37,6 +43,7 @@ class Cluster:
         params: Optional[Params] = None,
         agents: bool = True,
         clock_skews: Optional[list[int]] = None,
+        topology: str = "ring",
     ):
         if names is None:
             names = [f"node{i}" for i in range(n_nodes)]
@@ -47,8 +54,12 @@ class Cluster:
         self.seed = seed
         self.names = list(names)
         self.clock_skews = list(clock_skews) if clock_skews else [0] * len(names)
+        self.topology = topology
         self.world = World(seed=seed)
-        self.ring = Ring(self.world, self.params)
+        self.net = make_transport(topology, self.world, self.params)
+        #: Legacy alias for :attr:`net` (the transport was the ring for
+        #: the project's whole pre-``repro.net`` history).
+        self.ring = self.net
         self.registry = ServiceRegistry()
         self.nodes: list[Node] = []
         #: Master compiled programs by module (the debugger's source-to-
@@ -60,7 +71,7 @@ class Cluster:
             # clock_tolerance of §6.1 exists to absorb exactly this).
             skew = clock_skews[i] if clock_skews else 0
             node = Node(i, name, self.world, self.params, clock_skew=skew)
-            self.ring.attach(node)
+            self.net.attach(node)
             RpcRuntime(node, self.registry)
             if agents:
                 # Every node has the agent linked in, dormant (paper §3).

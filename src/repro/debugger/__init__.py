@@ -6,7 +6,7 @@ convert_debuggee_time.
 debugger and :class:`repro.live.debugger.LiveDebugger` implement.
 """
 
-from repro.debugger.api import DebuggerSession, deprecated_alias
+from repro.debugger.api import DebuggerSession
 from repro.debugger.pilgrim import (
     PILGRIM_TIME_SERVICE,
     AgentError,
@@ -26,5 +26,4 @@ __all__ = [
     "UnreachableNodeError",
     "Pilgrim",
     "BreakpointLog",
-    "deprecated_alias",
 ]

@@ -23,39 +23,14 @@ Canonical names:
 ``status``          session/debuggee status summary
 ==================  ============================================
 
-The old names survive one release as thin aliases that emit a
-:class:`DeprecationWarning` (see :func:`deprecated_alias`).
+The old names (``break_at``, ``clear``, ``threads``) survived one
+release as deprecation-warning aliases and are now gone; only the
+canonical names above exist.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Protocol, runtime_checkable
-
-
-def deprecated_alias(canonical: str, old_name: str):
-    """Build a method that forwards to ``canonical`` with a warning.
-
-    Used at class scope::
-
-        class Pilgrim:
-            def set_breakpoint(self, ...): ...
-            break_at = deprecated_alias("set_breakpoint", "break_at")
-    """
-
-    def alias(self, *args, **kwargs):
-        warnings.warn(
-            f"{type(self).__name__}.{old_name}() is deprecated; "
-            f"use {canonical}()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return getattr(self, canonical)(*args, **kwargs)
-
-    alias.__name__ = old_name
-    alias.__qualname__ = old_name
-    alias.__doc__ = f"Deprecated alias for :meth:`{canonical}`."
-    return alias
 
 
 @runtime_checkable

@@ -21,7 +21,6 @@ from typing import TYPE_CHECKING, Any, Optional, Union
 
 from repro.agent import requests as rq
 from repro.cvm.image import Program
-from repro.debugger.api import deprecated_alias
 from repro.debugger.timelog import BreakpointLog
 from repro.rpc.marshal import MarshalError, marshal, unmarshal
 from repro.sim.units import SEC
@@ -402,7 +401,6 @@ class Pilgrim:
         self.breakpoints[bp.key()] = bp
         return bp
 
-    break_at = deprecated_alias("set_breakpoint", "break_at")
 
     def clear_breakpoint(self, bp: Breakpoint) -> None:
         """Remove a breakpoint previously set on its node."""
@@ -413,7 +411,6 @@ class Pilgrim:
         )
         self.breakpoints.pop(bp.key(), None)
 
-    clear = deprecated_alias("clear_breakpoint", "clear")
 
     def wait_for_breakpoint(self, timeout: int = 10 * SEC) -> dict:
         """Drive the simulation until some breakpoint is hit."""

@@ -41,7 +41,7 @@ NodeRef = Union[int, str]
 class FaultAction:
     """One scheduled fault.  ``kind`` is one of ``crash``, ``reboot``,
     ``partition``, ``heal``, ``loss``, ``nack``, ``delay``,
-    ``duplicate``, ``reorder``."""
+    ``duplicate``, ``reorder``, ``link_down``."""
 
     at: int
     kind: str
@@ -131,6 +131,21 @@ class FaultPlan:
             src=src, dst=dst,
         ))
 
+    def link_down(self, at: int, src: int, dst: int,
+                  duration: Optional[int] = None) -> "FaultPlan":
+        """Cut the directed link ``src -> dst`` at ``at``.
+
+        Packets on the link fail with hardware-visible NACKs, exactly
+        like a crashed destination interface — a cable pull, not
+        congestion.  On the mesh this downs one physical link; on the
+        ring it models a station refusing one peer's minipackets.  The
+        cut is one-directional: take both directions down for a full
+        link failure.  ``duration=None`` leaves it down for the run.
+        """
+        return self._add(FaultAction(
+            at, "link_down", duration=duration, src=src, dst=dst,
+        ))
+
     def __len__(self) -> int:
         return len(self.actions)
 
@@ -141,6 +156,7 @@ class FaultPlan:
     #: Action kinds that open a window (have a ``duration`` to narrow).
     WINDOW_KINDS = frozenset({
         "partition", "loss", "nack", "delay", "duplicate", "reorder",
+        "link_down",
     })
 
     def split(self) -> list["FaultPlan"]:
@@ -264,13 +280,16 @@ class Nemesis:
         "delay": sh.DELAY,
         "duplicate": sh.DUPLICATE,
         "reorder": sh.REORDER,
+        # A downed link is a scoped always-on NACK: hardware-visible
+        # non-receipt on one directed pair (see FaultPlan.link_down).
+        "link_down": sh.NACK,
     }
 
     def __init__(self, cluster: "Cluster", plan: Optional[FaultPlan] = None):
         self.cluster = cluster
         self.world = cluster.world
         self.bus = cluster.world.bus
-        self.shaper = cluster.ring.shaper or LinkShaper(cluster.ring)
+        self.shaper = cluster.net.shaper or LinkShaper(cluster.net)
         self.faults_fired = 0
         self._next_fault_id = 0
         if plan is not None:

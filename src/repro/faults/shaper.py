@@ -1,23 +1,29 @@
-"""Ring-level packet shaping for fault injection.
+"""Transport-level packet shaping for fault injection.
 
-The shaper hangs off :class:`repro.ring.network.Ring` (``ring.shaper``)
-and is consulted at two points:
+The shaper hangs off any :class:`repro.net.base.Transport` backend
+(``transport.shaper``) — ring or mesh — and is consulted at the two
+fabric-agnostic decision points the base transport hosts:
 
-* ``Ring.transmit`` asks :meth:`LinkShaper.forces_nack` — partitions and
-  NACK windows surface as *hardware-visible* non-receipt, exactly like a
-  crashed destination interface (paper §5.2), so NACK-driven
-  retransmission (halt broadcast, exactly-once retries hitting a dead
-  interface) exercises its real path; then
+* ``Transport.transmit`` asks :meth:`LinkShaper.forces_nack` —
+  partitions and NACK windows surface as *hardware-visible* non-receipt,
+  exactly like a crashed destination interface (paper §5.2), so
+  NACK-driven retransmission (halt broadcast, exactly-once retries
+  hitting a dead interface) exercises its real path; then
   :meth:`LinkShaper.delivery_offsets` turns one transmission into zero
   or more deliveries at relative offsets (delay/jitter, duplication,
   hold-back reordering).
-* ``Ring._deliver`` asks :meth:`LinkShaper.drops` — lossy windows are
-  *silent* software loss after interface receipt (paper §4.1), invisible
-  to the sender.
+* ``Transport._deliver`` asks :meth:`LinkShaper.drops` — lossy windows
+  are *silent* software loss after interface receipt (paper §4.1),
+  invisible to the sender.
+
+Because the decision points live in the shared base class, one fault
+plan means the same thing on every topology: a partition cuts the same
+node groups, a NACK window fires at the same probability, a delay rule
+shifts deliveries by the same offsets.
 
 Rules match by optional ``src``/``dst`` node and are toggled by the
-nemesis; with no active rules every method is a cheap no-op, and a ring
-with ``shaper is None`` never calls in at all.
+nemesis; with no active rules every method is a cheap no-op, and a
+transport with ``shaper is None`` never calls in at all.
 """
 
 from __future__ import annotations
@@ -25,8 +31,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional, Sequence
 
 if TYPE_CHECKING:
-    from repro.ring.network import Ring
-    from repro.ring.packets import BasicBlock
+    from repro.net.base import Transport
+    from repro.net.packets import BasicBlock
 
 #: Rule kinds, in the vocabulary of the ISSUE/paper taxonomy.
 NACK = "nack"          # hardware-visible non-receipt
@@ -72,19 +78,21 @@ class FaultRule:
 
 
 class LinkShaper:
-    """Partition state plus the active shaping rules for one ring."""
+    """Partition state plus the active shaping rules for one transport."""
 
-    def __init__(self, ring: "Ring"):
-        self.ring = ring
-        self.world = ring.world
-        self.rng = ring.world.rng
+    def __init__(self, transport: "Transport"):
+        self.transport = transport
+        #: Legacy alias (the shaper predates the pluggable transport).
+        self.ring = transport
+        self.world = transport.world
+        self.rng = transport.world.rng
         #: Active partition: a list of node-id groups.  Nodes absent from
         #: every group form one implicit group of their own (they can
         #: still talk to each other, not across the cut).  ``None`` means
         #: no partition.
         self.partition_groups: Optional[list[set[int]]] = None
         self.rules: list[FaultRule] = []
-        ring.shaper = self
+        transport.shaper = self
 
     # ------------------------------------------------------------------
     # Partition management
@@ -166,12 +174,12 @@ class LinkShaper:
                 if rule.jitter > 0:
                     offset += self.rng.randrange(rule.jitter + 1)
             elif rule.kind == REORDER and self._hit(rule, packet):
-                offset += (self.ring.params.basic_block_latency * 3) // 2
+                offset += (self.transport.params.basic_block_latency * 3) // 2
             elif rule.kind == DUPLICATE and self._hit(rule, packet):
                 duplicate = True
         offsets = [offset]
         if duplicate:
-            offsets.append(offset + self.ring.params.basic_block_latency // 2)
+            offsets.append(offset + self.transport.params.basic_block_latency // 2)
         return offsets
 
     def __repr__(self) -> str:

@@ -12,7 +12,6 @@ import socket
 import time
 from typing import Any, Optional
 
-from repro.debugger.api import deprecated_alias
 
 _sessions = itertools.count(1)
 
@@ -73,7 +72,6 @@ class LiveDebugger:
     def processes(self) -> list[dict]:
         return self._request("list_threads")
 
-    threads = deprecated_alias("processes", "threads")
 
     def set_breakpoint(self, file_suffix: str, line: int) -> None:
         self._request("set_breakpoint", {"file": file_suffix, "line": line})

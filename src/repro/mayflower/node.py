@@ -101,7 +101,7 @@ class Node:
         self.world.cancel_node_events(self.node_id)
         if self.station is not None:
             self.station.clear_ports()
-            self.station.tx_free_at = 0
+            self.station.reset_transmitter()
 
     def reboot(self) -> int:
         """Bring a crashed node back with a fresh boot epoch.
@@ -127,7 +127,7 @@ class Node:
         )
         if self.station is not None:
             self.station.clear_ports()
-            self.station.tx_free_at = 0
+            self.station.reset_transmitter()
         self.crashed = False
         old_rpc, old_agent = self.rpc, self.agent
         self.rpc = None

@@ -1,0 +1,74 @@
+"""A switched point-to-point mesh backend (``topology="mesh"``).
+
+The modern counterpoint to the Cambridge Ring: every ordered node pair
+has a dedicated link with its own transmitter, so sends to *different*
+destinations proceed in parallel — a halt broadcast reaches every peer
+about one link latency after it starts, instead of the ring's
+k × 3.5 ms staircase.  Successive sends to the *same* destination are
+still serialized per link (``params.mesh_tx_serialization``), so
+per-destination packet ordering — which the RPC protocols and the
+agent's request/response pairing rely on — is preserved.
+
+Link latency defaults to ``params.mesh_link_latency`` (one Basic Block,
+so ring-vs-mesh comparisons isolate the serial-send effect) and can be
+overridden per directed link with :meth:`MeshTransport.set_link_latency`
+to model heterogeneous fabrics (a slow WAN hop, a fast local switch).
+
+Experiment E15 re-measures the paper's §5.2 halt-transparency bound on
+this fabric: the "confident of contacting only two nodes" limit is a
+ring property, and visibly relaxes here.
+"""
+
+from __future__ import annotations
+
+from repro.net.base import Station, Transport
+from repro.net.packets import BasicBlock
+
+
+class MeshTransport(Transport):
+    """Full point-to-point mesh with parallel per-link delivery."""
+
+    topology = "mesh"
+
+    def __init__(self, world, params=None):
+        super().__init__(world, params)
+        #: Per-directed-link latency overrides: ``(src, dst) -> µs``.
+        self.link_latency: dict[tuple[int, int], int] = {}
+
+    def set_link_latency(self, src: int, dst: int, latency: int) -> None:
+        """Override the latency of the directed link ``src -> dst``."""
+        if latency < 0:
+            raise ValueError(f"link latency must be >= 0 (got {latency})")
+        self.link_latency[(src, dst)] = latency
+
+    def _tx_available_at(self, station: Station, packet: BasicBlock) -> int:
+        """Each destination has its own link transmitter."""
+        return station.link_free_at.get(packet.dst, 0)
+
+    def _note_transmission(
+        self, station: Station, packet: BasicBlock, free_at: int
+    ) -> None:
+        """Occupy only the ``packet.dst`` link until ``free_at``."""
+        station.link_free_at[packet.dst] = free_at
+
+    def _latency(self, packet: BasicBlock) -> int:
+        """Per-link latency (override or default) + payload surcharge."""
+        base = self.link_latency.get(
+            (packet.src, packet.dst), self.params.mesh_link_latency
+        )
+        extra_kb = max(0, (packet.size_bytes - 64) // 1024)
+        return base + extra_kb * self.params.mesh_per_kb_latency
+
+    def _tx_serialization(self, packet: BasicBlock) -> int:
+        """Per-link transmitter occupancy (plus payload surcharge)."""
+        extra_kb = max(0, (packet.size_bytes - 64) // 1024)
+        return (
+            self.params.mesh_tx_serialization
+            + extra_kb * self.params.mesh_per_kb_latency
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Mesh stations={sorted(self.stations)} "
+            f"overrides={len(self.link_latency)} sent={self.total_sent}>"
+        )

@@ -1,0 +1,67 @@
+"""The simulated Cambridge Ring backend (``topology="ring"``).
+
+Properties the reproduction depends on (paper §5.2):
+
+* the ring is a broadcast *medium* but provides **no broadcast facility
+  at the data-link layer** — all sends are unicast and successive sends
+  from one station are serialized through its single transmitter;
+* the transmitting hardware is informed if a packet was **not received
+  by the destination network interface** (the hardware NACK that
+  Pilgrim's halt broadcast uses for its negative-acknowledgement
+  retransmissions);
+* packets can still be lost *after* interface receipt (buffer overrun,
+  software loss) — such losses are silent, which is what makes the
+  *maybe* RPC protocol interesting to debug (call packet lost vs reply
+  packet lost, paper §4.1).
+
+Timing: a small Basic Block takes ``params.basic_block_latency`` (default
+3.5 ms) from transmission start to delivery, and a station's transmitter
+is busy for ``params.ring_tx_serialization`` per packet, so a burst of N
+sends from one station lands at t + k * 3.5 ms for k = 1..N — exactly
+the arithmetic behind "we could be confident of contacting only two
+nodes" (paper §5.2, reproduced as experiments E3 and E15).
+
+The NACK/loss decision points, the shaper hooks, and the station API all
+live in :class:`repro.net.base.Transport`; this class only answers the
+fabric timing questions.
+"""
+
+from __future__ import annotations
+
+from repro.net.base import Station, Transport
+from repro.net.packets import BasicBlock
+
+
+class RingTransport(Transport):
+    """The shared Cambridge Ring connecting all stations."""
+
+    topology = "ring"
+
+    def _tx_available_at(self, station: Station, packet: BasicBlock) -> int:
+        """The single transmitter serializes every send from a station."""
+        return station.tx_free_at
+
+    def _note_transmission(
+        self, station: Station, packet: BasicBlock, free_at: int
+    ) -> None:
+        """Occupy the station's one transmitter until ``free_at``."""
+        station.tx_free_at = free_at
+
+    def _latency(self, packet: BasicBlock) -> int:
+        """One Basic Block latency plus the per-KiB payload surcharge."""
+        extra_kb = max(0, (packet.size_bytes - 64) // 1024)
+        return (
+            self.params.basic_block_latency
+            + extra_kb * self.params.ring_per_kb_latency
+        )
+
+    def _tx_serialization(self, packet: BasicBlock) -> int:
+        """Transmitter occupancy per packet (plus payload surcharge)."""
+        extra_kb = max(0, (packet.size_bytes - 64) // 1024)
+        return (
+            self.params.ring_tx_serialization
+            + extra_kb * self.params.ring_per_kb_latency
+        )
+
+    def __repr__(self) -> str:
+        return f"<Ring stations={sorted(self.stations)} sent={self.total_sent}>"

@@ -55,6 +55,20 @@ class Params:
     nack_retry_delay: int = 500 * US
 
     # ------------------------------------------------------------------
+    # Switched mesh (repro.net.mesh)
+    # ------------------------------------------------------------------
+    #: Default latency of one directed mesh link (kept equal to a Basic
+    #: Block so ring-vs-mesh comparisons isolate the serial-send effect;
+    #: override per link with ``MeshTransport.set_link_latency``).
+    mesh_link_latency: int = 3_500 * US
+    #: Per-link transmitter occupancy: successive sends to the *same*
+    #: destination are spaced by this; different destinations go out in
+    #: parallel (each link has its own transmitter).
+    mesh_tx_serialization: int = 3_500 * US
+    #: Extra mesh latency per 1 KiB of payload beyond the first block.
+    mesh_per_kb_latency: int = 500 * US
+
+    # ------------------------------------------------------------------
     # RPC runtime
     # ------------------------------------------------------------------
     #: One-way processing cost in the RPC runtime (marshal + protocol),

@@ -73,6 +73,7 @@ def record_run(
     run_until: Optional[int] = None,
     clock_skews: Optional[list[int]] = None,
     meta: Optional[dict] = None,
+    topology: str = "ring",
 ) -> Trace:
     """Record one scenario run and return the sealed trace.
 
@@ -86,7 +87,7 @@ def record_run(
     from repro.faults.plan import Nemesis
 
     cluster = Cluster(names=names, seed=seed, params=params,
-                      clock_skews=clock_skews)
+                      clock_skews=clock_skews, topology=topology)
     writer = TraceWriter(cluster, plan=plan, checkpoint_every=checkpoint_every,
                          meta=meta)
     build(cluster)
@@ -116,6 +117,7 @@ class ReplayWorld:
             seed=header["seed"],
             params=trace.params(),
             clock_skews=list(header["clock_skews"]),
+            topology=trace.topology,
         )
         self.writer = TraceWriter(
             self.cluster,

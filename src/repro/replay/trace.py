@@ -3,7 +3,8 @@
 A trace is one JSON object per line:
 
 * a **header** — trace version, the cluster recipe (seed, node names,
-  clock skews, full ``Params``), the serialized ``FaultPlan``, the
+  topology, clock skews, full ``Params``), the serialized ``FaultPlan``,
+  the
   checkpoint cadence, and caller metadata.  Everything a replayer needs
   to rebuild an identical cluster;
 * one **event** line per materialized obs event, carrying both the
@@ -132,6 +133,12 @@ class Trace:
         return self.header["seed"]
 
     @property
+    def topology(self) -> str:
+        """The recorded run's transport fabric (pre-``repro.net`` traces
+        carry no topology key and were all recorded on the ring)."""
+        return self.header.get("topology", "ring")
+
+    @property
     def final_time(self) -> int:
         """Virtual time when the recording was sealed."""
         return self.footer["final_time"]
@@ -249,6 +256,7 @@ class TraceWriter:
             "version": TRACE_VERSION,
             "seed": cluster.seed,
             "names": list(cluster.names),
+            "topology": cluster.topology,
             "clock_skews": list(cluster.clock_skews),
             "params": asdict(cluster.params),
             "fault_plan": plan.to_dict() if plan is not None else None,

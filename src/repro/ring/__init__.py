@@ -1,5 +1,8 @@
-"""Cambridge Ring network model: stations, Basic Blocks, hardware NACKs,
-serial (non-broadcast) transmission, loss injection, and packet tracing.
+"""Compatibility façade for the Cambridge Ring model.
+
+The transport layer is pluggable now and lives in :mod:`repro.net`
+(`ring` and `mesh` backends); this package keeps the historical import
+path working.  ``Ring`` is :class:`repro.net.ring.RingTransport`.
 """
 
 from repro.ring.network import Ring, RingTracer, Station

@@ -1,310 +1,26 @@
-"""The simulated Cambridge Ring.
+"""Compatibility façade for the pre-``repro.net`` ring module.
 
-Properties the reproduction depends on (paper §5.2):
+The Cambridge Ring model moved to :mod:`repro.net` when the transport
+layer became pluggable (ring vs switched mesh); this module keeps the
+historical import path and names alive:
 
-* the ring is a broadcast *medium* but provides **no broadcast facility at
-  the data-link layer** — all sends are unicast and successive sends from
-  one station are serialized;
-* the transmitting hardware is informed if a packet was **not received by
-  the destination network interface** (the hardware NACK that Pilgrim's
-  halt broadcast uses for its negative-acknowledgement retransmissions);
-* packets can still be lost *after* interface receipt (buffer overrun,
-  software loss) — such losses are silent, which is what makes the *maybe*
-  RPC protocol interesting to debug (call packet lost vs reply packet
-  lost, paper §4.1).
+* ``Ring`` is :class:`repro.net.ring.RingTransport`;
+* ``Station`` is the fabric-independent :class:`repro.net.base.Station`;
+* ``RingTracer`` is :class:`repro.net.base.PacketTracer` (it was always
+  a plain bus subscriber, never ring-specific).
 
-Timing: a small Basic Block takes ``params.basic_block_latency`` (default
-3.5 ms) from transmission start to delivery, and a station's transmitter is
-busy for ``params.ring_tx_serialization`` per packet, so a burst of N sends
-from one station lands at t + k * 3.5 ms for k = 1..N — exactly the
-arithmetic behind "we could be confident of contacting only two nodes"
-(paper §5.2, reproduced as experiment E3).
-
-Instrumentation: every packet outcome is emitted on the world's
-:mod:`repro.obs` bus (``PacketSent/Delivered/Nacked/Dropped``); the public
-``total_*`` and per-station counters are properties over the metric
-series those events feed.  The packet monitor (§4.2 ablation) and the
-:class:`RingTracer` are plain bus subscribers.
+New code should import from :mod:`repro.net` directly.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional
+from repro.net.base import PacketTracer, Station
+from repro.net.ring import RingTransport
 
-from repro.obs import events as ev
-from repro.params import Params
-from repro.ring.packets import (
-    TRACE_DELIVERED,
-    TRACE_DROPPED,
-    TRACE_NACKED,
-    TRACE_NO_HANDLER,
-    TRACE_SENT,
-    BasicBlock,
-    TraceRecord,
-)
+#: Historical name for the ring backend.
+Ring = RingTransport
 
-if TYPE_CHECKING:
-    from repro.mayflower.node import Node
-    from repro.sim.world import World
+#: Historical name for the fabric-independent packet tracer.
+RingTracer = PacketTracer
 
-PortHandler = Callable[[BasicBlock], None]
-NackHandler = Callable[[BasicBlock], None]
-DropFilter = Callable[[BasicBlock], bool]
-
-
-class Station:
-    """One node's ring interface."""
-
-    def __init__(self, ring: "Ring", node: "Node"):
-        self.ring = ring
-        self.node = node
-        self.address = node.node_id
-        self._ports: dict[str, PortHandler] = {}
-        #: Time at which the transmitter becomes free again.
-        self.tx_free_at = 0
-
-    @property
-    def packets_sent(self) -> int:
-        return self.ring._sent.get(self.address)
-
-    @property
-    def packets_received(self) -> int:
-        return self.ring._delivered.get(self.address)
-
-    def register_port(self, port: str, handler: PortHandler) -> None:
-        """Attach a software handler for packets addressed to ``port``."""
-        self._ports[port] = handler
-
-    def unregister_port(self, port: str) -> None:
-        self._ports.pop(port, None)
-
-    def clear_ports(self) -> None:
-        """Drop every software port handler (node crash/reboot cleanup)."""
-        self._ports.clear()
-
-    def handler_for(self, port: str) -> Optional[PortHandler]:
-        return self._ports.get(port)
-
-    def send(
-        self,
-        dst: int,
-        port: str,
-        payload: object,
-        size_bytes: int = 64,
-        kind: str = "data",
-        on_nack: Optional[NackHandler] = None,
-    ) -> BasicBlock:
-        """Transmit a Basic Block; returns the packet for correlation.
-
-        ``on_nack`` (if given) is invoked when the sending *hardware*
-        reports that the destination interface did not accept the packet.
-        Silent software-level losses do not trigger it.
-        """
-        packet = BasicBlock(
-            src=self.address,
-            dst=dst,
-            port=port,
-            payload=payload,
-            size_bytes=size_bytes,
-            kind=kind,
-        )
-        self.ring.transmit(self, packet, on_nack)
-        return packet
-
-    def __repr__(self) -> str:
-        return f"<Station {self.address} ports={sorted(self._ports)}>"
-
-
-class Ring:
-    """The shared Cambridge Ring connecting all stations."""
-
-    def __init__(self, world: "World", params: Optional[Params] = None):
-        self.world = world
-        self.params = params or Params()
-        self.bus = world.bus
-        self.stations: dict[int, Station] = {}
-        #: Optional per-packet drop predicates for targeted fault injection.
-        #: Returning True drops the packet silently (software-level loss).
-        self.drop_filters: list[DropFilter] = []
-        #: Probability of hardware-detectable (NACKed) non-receipt.
-        self.interface_nack_probability = 0.0
-        #: Targeted fault injection: predicates that force a hardware NACK
-        #: for matching packets (complements drop_filters' silent loss).
-        self.nack_filters: list[DropFilter] = []
-        #: Optional :class:`repro.faults.LinkShaper` implementing the
-        #: richer fault kinds (partition, delay/jitter, duplication,
-        #: reordering).  ``None`` keeps the fault-free fast path.
-        self.shaper = None
-        metrics = world.metrics
-        self._sent = metrics.labeled("ring.packets_sent")
-        self._delivered = metrics.labeled("ring.packets_delivered")
-        self._dropped = metrics.counter("ring.packets_dropped")
-        self._nacked = metrics.counter("ring.packets_nacked")
-
-    # Public counters, backed by the obs metric series.
-    @property
-    def total_sent(self) -> int:
-        return self._sent.total
-
-    @property
-    def total_delivered(self) -> int:
-        return self._delivered.total
-
-    @property
-    def total_dropped(self) -> int:
-        return self._dropped.value
-
-    @property
-    def total_nacked(self) -> int:
-        return self._nacked.value
-
-    def attach(self, node: "Node") -> Station:
-        """Create and register the station for a node."""
-        station = Station(self, node)
-        self.stations[station.address] = station
-        node.station = station
-        return station
-
-    # ------------------------------------------------------------------
-
-    def transmit(
-        self,
-        station: Station,
-        packet: BasicBlock,
-        on_nack: Optional[NackHandler],
-    ) -> None:
-        # Sends may originate from a process running ahead on its node's
-        # local CPU cursor; stamp transmission with the sender's time.
-        now = station.node.supervisor.current_time()
-        tx_start = max(now, station.tx_free_at)
-        tx_time = self._tx_serialization(packet)
-        station.tx_free_at = tx_start + tx_time
-        self.bus.emit(ev.PacketSent, time=now, node=packet.src, packet=packet)
-
-        dst_station = self.stations.get(packet.dst)
-        dst_down = dst_station is None or dst_station.node.crashed
-        hardware_nack = dst_down or (
-            self.shaper is not None and self.shaper.forces_nack(packet)
-        ) or any(
-            nack_filter(packet) for nack_filter in self.nack_filters
-        ) or (
-            self.interface_nack_probability > 0
-            and self.world.rng.random() < self.interface_nack_probability
-        )
-        if hardware_nack:
-            # The transmitting hardware learns of non-receipt when the
-            # minipacket returns — i.e. by the end of transmission.
-            self.bus.emit(ev.PacketNacked, time=now, node=packet.src, packet=packet)
-            if on_nack is not None:
-                self.world.schedule_at(
-                    station.tx_free_at, on_nack, packet, node=packet.src
-                )
-            return
-
-        delivery_time = tx_start + self._latency(packet)
-        if self.shaper is None:
-            self.world.schedule_at(
-                delivery_time, self._deliver, packet,
-                node=packet.dst, survives_crash=True,
-            )
-        else:
-            # The shaper may delay, duplicate, or hold back (reorder) the
-            # packet: one delivery per returned offset.
-            for offset in self.shaper.delivery_offsets(packet):
-                self.world.schedule_at(
-                    delivery_time + offset, self._deliver, packet,
-                    node=packet.dst, survives_crash=True,
-                )
-
-    def _deliver(self, packet: BasicBlock) -> None:
-        now = self.world.now
-        station = self.stations.get(packet.dst)
-        if station is None or station.node.crashed:
-            # Went down in flight: silent from the sender's viewpoint.
-            self.bus.emit(
-                ev.PacketDropped, time=now, node=packet.dst, packet=packet,
-                reason="down",
-            )
-            return
-        if self._should_drop(packet):
-            self.bus.emit(
-                ev.PacketDropped, time=now, node=packet.dst, packet=packet,
-                reason="lost",
-            )
-            return
-        handler = station.handler_for(packet.port)
-        if handler is None:
-            self.bus.emit(
-                ev.PacketDropped, time=now, node=packet.dst, packet=packet,
-                reason="no_handler",
-            )
-            return
-        self.bus.emit(ev.PacketDelivered, time=now, node=packet.dst, packet=packet)
-        handler(packet)
-
-    # ------------------------------------------------------------------
-
-    def _should_drop(self, packet: BasicBlock) -> bool:
-        for drop_filter in self.drop_filters:
-            if drop_filter(packet):
-                return True
-        if self.shaper is not None and self.shaper.drops(packet):
-            return True
-        probability = self.params.packet_loss_probability
-        return probability > 0 and self.world.rng.random() < probability
-
-    def _latency(self, packet: BasicBlock) -> int:
-        extra_kb = max(0, (packet.size_bytes - 64) // 1024)
-        return self.params.basic_block_latency + extra_kb * self.params.ring_per_kb_latency
-
-    def _tx_serialization(self, packet: BasicBlock) -> int:
-        extra_kb = max(0, (packet.size_bytes - 64) // 1024)
-        return (
-            self.params.ring_tx_serialization
-            + extra_kb * self.params.ring_per_kb_latency
-        )
-
-    def __repr__(self) -> str:
-        return f"<Ring stations={sorted(self.stations)} sent={self.total_sent}>"
-
-
-class RingTracer:
-    """Trace collector: subscribes to the packet events and renders them
-    as the legacy :class:`TraceRecord` stream."""
-
-    _DROP_EVENTS = {"no_handler": TRACE_NO_HANDLER}
-
-    def __init__(self, ring: Ring):
-        self.ring = ring
-        self.records: list[TraceRecord] = []
-        bus = ring.bus
-        bus.subscribe(ev.PacketSent, self._on_sent)
-        bus.subscribe(ev.PacketDelivered, self._on_delivered)
-        bus.subscribe(ev.PacketNacked, self._on_nacked)
-        bus.subscribe(ev.PacketDropped, self._on_dropped)
-
-    def detach(self) -> None:
-        bus = self.ring.bus
-        bus.unsubscribe(ev.PacketSent, self._on_sent)
-        bus.unsubscribe(ev.PacketDelivered, self._on_delivered)
-        bus.unsubscribe(ev.PacketNacked, self._on_nacked)
-        bus.unsubscribe(ev.PacketDropped, self._on_dropped)
-
-    def _on_sent(self, event: ev.PacketSent) -> None:
-        self.records.append(TraceRecord(event.time, TRACE_SENT, event.packet))
-
-    def _on_delivered(self, event: ev.PacketDelivered) -> None:
-        self.records.append(TraceRecord(event.time, TRACE_DELIVERED, event.packet))
-
-    def _on_nacked(self, event: ev.PacketNacked) -> None:
-        self.records.append(TraceRecord(event.time, TRACE_NACKED, event.packet))
-
-    def _on_dropped(self, event: ev.PacketDropped) -> None:
-        trace_event = self._DROP_EVENTS.get(event.reason, TRACE_DROPPED)
-        self.records.append(TraceRecord(event.time, trace_event, event.packet))
-
-    def events_for(self, packet_id: int) -> list[str]:
-        return [r.event for r in self.records if r.packet.packet_id == packet_id]
-
-    def of_kind(self, kind: str) -> list[TraceRecord]:
-        return [r for r in self.records if r.packet.kind == kind]
+__all__ = ["Ring", "RingTracer", "Station"]

@@ -1,55 +1,23 @@
-"""Packet types for the simulated Cambridge Ring.
-
-The unit of transmission is the *Basic Block* — "the lowest level protocol
-generally available" (paper §5.2).  A small Basic Block takes about 3.5 ms
-end to end; larger payloads pay a per-KiB surcharge.
-"""
+"""Compatibility façade: packet types now live in :mod:`repro.net.packets`."""
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import Any
+from repro.net.packets import (
+    TRACE_DELIVERED,
+    TRACE_DROPPED,
+    TRACE_NACKED,
+    TRACE_NO_HANDLER,
+    TRACE_SENT,
+    BasicBlock,
+    TraceRecord,
+)
 
-_packet_ids = itertools.count(1)
-
-
-@dataclass
-class BasicBlock:
-    """One Basic Block message on the ring.
-
-    ``kind`` is free-form metadata used by tracing (and by the rejected
-    packet-monitor RPC debugging design of paper §4.2): e.g. ``rpc_call``,
-    ``rpc_reply``, ``rpc_ack``, ``agent_request``, ``halt``.
-    """
-
-    src: int
-    dst: int
-    port: str
-    payload: Any
-    size_bytes: int = 64
-    kind: str = "data"
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
-
-    def __repr__(self) -> str:
-        return (
-            f"<BB#{self.packet_id} {self.kind} {self.src}->{self.dst}:{self.port} "
-            f"{self.size_bytes}B>"
-        )
-
-
-#: Trace event kinds emitted by the ring for every packet.
-TRACE_SENT = "sent"
-TRACE_DELIVERED = "delivered"
-TRACE_DROPPED = "dropped"  # silent software-level loss
-TRACE_NACKED = "nacked"  # hardware-detected non-receipt (paper §5.2)
-TRACE_NO_HANDLER = "no_handler"
-
-
-@dataclass
-class TraceRecord:
-    """One entry in a ring trace (used by tests and by E8's post-mortem)."""
-
-    time: int
-    event: str
-    packet: BasicBlock
+__all__ = [
+    "BasicBlock",
+    "TraceRecord",
+    "TRACE_SENT",
+    "TRACE_DELIVERED",
+    "TRACE_DROPPED",
+    "TRACE_NACKED",
+    "TRACE_NO_HANDLER",
+]

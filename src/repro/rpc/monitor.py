@@ -26,8 +26,8 @@ from typing import TYPE_CHECKING, Optional
 from repro.obs import events as ev
 
 if TYPE_CHECKING:
-    from repro.ring.network import Ring
-    from repro.ring.packets import BasicBlock
+    from repro.net.base import Transport
+    from repro.net.packets import BasicBlock
     from repro.rpc.runtime import RpcRuntime
 
 
@@ -95,9 +95,9 @@ def observe_packet(
 
 
 class PacketMonitor:
-    """Driver-hook monitor attached to one node's view of the ring."""
+    """Driver-hook monitor attached to one node's view of the fabric."""
 
-    def __init__(self, ring: "Ring", runtime: "RpcRuntime"):
+    def __init__(self, ring: "Transport", runtime: "RpcRuntime"):
         self.ring = ring
         self.runtime = runtime
         self.node_id = runtime.node.node_id

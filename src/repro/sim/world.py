@@ -47,7 +47,10 @@ class EventHandle:
     modelled at delivery time instead).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "node", "survives_crash")
+    __slots__ = (
+        "time", "seq", "fn", "args", "cancelled", "node", "survives_crash",
+        "owner",
+    )
 
     def __init__(
         self,
@@ -57,6 +60,7 @@ class EventHandle:
         args: tuple,
         node: Optional[int] = None,
         survives_crash: bool = False,
+        owner: Optional["World"] = None,
     ):
         self.time = time
         self.seq = seq
@@ -65,9 +69,16 @@ class EventHandle:
         self.cancelled = False
         self.node = node
         self.survives_crash = survives_crash
+        #: Back-reference to the owning world so cancellation can
+        #: invalidate its cached execution windows (see World._version).
+        self.owner = owner
 
     def cancel(self) -> None:
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.owner is not None:
+                self.owner._version += 1
+                self.owner = None
         # Drop references so cancelled closures do not pin objects alive.
         self.fn = _nothing
         self.args = ()
@@ -123,6 +134,18 @@ class World:
         #: Per-node index heaps (same handles) for window computation.
         self._node_index: dict[int, list[EventHandle]] = {}
         self._global_index: list[EventHandle] = []
+        #: Bumped on every push and every live-event cancellation — any
+        #: change that can move a heap's *live* minimum.  Popping an
+        #: already-cancelled entry does not move a live minimum, so the
+        #: lazy cleanup inside :meth:`_peek_heap` needs no bump.  The
+        #: window/peek caches below key on this counter, which is what
+        #: makes :meth:`window_for` O(1) between queue changes instead of
+        #: re-deriving three heap minima per supervisor action.
+        self._version = 0
+        #: node -> ((version, lookahead, boundary), window).
+        self._window_cache: dict[int, tuple[tuple, int]] = {}
+        #: (version, boundary, next_time) for :meth:`peek_next_time`.
+        self._peek_cache: Optional[tuple[int, Optional[int], int]] = None
         self._seq = 0
         self._running = False
         self._stopped = False
@@ -165,8 +188,10 @@ class World:
                 f"cannot schedule at t={time} before now={self.now}"
             )
         self._seq += 1
+        self._version += 1
         handle = EventHandle(
-            time, self._seq, fn, args, node=node, survives_crash=survives_crash
+            time, self._seq, fn, args, node=node,
+            survives_crash=survives_crash, owner=self,
         )
         heapq.heappush(self._queue, handle)
         if node is None:
@@ -185,25 +210,33 @@ class World:
         execution windows and resolve at delivery time.  Returns the
         number of live events cancelled.  The main queue keeps the (now
         cancelled) entries and skips them when popped.
+
+        Compaction is lazy: cancelled entries stay in the node's index
+        heap too (:meth:`_peek_heap` skips them at the top), so a crash
+        costs one flag flip per event instead of rebuilding the heap.
+        Only when live entries fall below half the heap is the heap
+        compacted, which amortizes to O(1) per cancellation and keeps a
+        crash-churned 64-node run from dragging dead entries around.
         """
         heap = self._node_index.get(node)
         if not heap:
             return 0
         cancelled = 0
-        kept: list[EventHandle] = []
+        live = 0
         for handle in heap:
             if handle.cancelled:
                 continue
             if handle.survives_crash:
-                kept.append(handle)
+                live += 1
             else:
                 handle.cancel()
                 cancelled += 1
-        if kept:
+        if live == 0:
+            self._node_index.pop(node, None)
+        elif live * 2 < len(heap):
+            kept = [handle for handle in heap if not handle.cancelled]
             heapq.heapify(kept)
             self._node_index[node] = kept
-        else:
-            self._node_index.pop(node, None)
         return cancelled
 
     # ------------------------------------------------------------------
@@ -217,9 +250,14 @@ class World:
         first reaching it, so a handler may safely consume CPU time up to
         (but not past) this boundary.
         """
+        cache = self._peek_cache
+        if (cache is not None and cache[0] == self._version
+                and cache[1] == self._boundary):
+            return cache[2]
         top = self._peek_heap(self._queue)
         if self._boundary is not None:
-            return min(top, self._boundary)
+            top = min(top, self._boundary)
+        self._peek_cache = (self._version, self._boundary, top)
         return top
 
     @staticmethod
@@ -234,7 +272,16 @@ class World:
         Bounded by the node's own next event, any global event, any other
         node's next event plus ``lookahead`` (the minimum cross-node
         latency), and the active run(until=...) boundary.
+
+        Incremental: the result is cached per node and reused until the
+        queue changes (``self._version``) — this is the supervisor's
+        per-action hot path, and at 64 nodes a slice re-derives the same
+        window hundreds of times between queue mutations.
         """
+        key = (self._version, lookahead, self._boundary)
+        cached = self._window_cache.get(node)
+        if cached is not None and cached[0] == key:
+            return cached[1]
         own = self._peek_heap(self._node_index.get(node, []))
         global_next = self._peek_heap(self._global_index)
         any_next = self._peek_heap(self._queue)
@@ -243,6 +290,7 @@ class World:
             window = min(window, any_next + lookahead)
         if self._boundary is not None:
             window = min(window, self._boundary)
+        self._window_cache[node] = (key, window)
         return window
 
     def advance(self, dt: int) -> None:
@@ -357,6 +405,8 @@ class World:
         self._queue.clear()
         self._node_index.clear()
         self._global_index.clear()
+        self._window_cache.clear()
+        self._peek_cache = None
         self.bus.clear()
         self._stopped = True
         self._closed = True

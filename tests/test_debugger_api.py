@@ -1,6 +1,4 @@
-"""The unified DebuggerSession protocol and its deprecation shims."""
-
-import pytest
+"""The unified DebuggerSession protocol."""
 
 from repro import MS, Cluster, DebuggerSession, Pilgrim
 from repro.debugger.repl import PilgrimRepl
@@ -45,26 +43,14 @@ def test_status_is_local_and_summarizes_session():
 
 
 # ----------------------------------------------------------------------
-# Deprecated aliases (one release of grace)
+# The deprecated aliases served their one release of grace and are gone
 # ----------------------------------------------------------------------
 
 
-def test_pilgrim_break_at_alias_warns_and_forwards():
-    dbg = _session()
-    with pytest.warns(DeprecationWarning, match="break_at.*set_breakpoint"):
-        bp = dbg.break_at("app", "app", line=4)
-    assert bp.line == 4
-    with pytest.warns(DeprecationWarning, match="clear.*clear_breakpoint"):
-        dbg.clear(bp)
-    assert dbg.breakpoints == {}
-
-
-def test_live_threads_alias_warns_and_forwards():
-    # No agent needed: the alias forwards to processes() on the instance.
-    dbg = object.__new__(LiveDebugger)
-    dbg.processes = lambda: [{"tid": 1}]
-    with pytest.warns(DeprecationWarning, match="threads.*processes"):
-        assert dbg.threads() == [{"tid": 1}]
+def test_deprecated_aliases_are_removed():
+    assert not hasattr(Pilgrim, "break_at")
+    assert not hasattr(Pilgrim, "clear")
+    assert not hasattr(LiveDebugger, "threads")
 
 
 # ----------------------------------------------------------------------

@@ -53,6 +53,51 @@ def test_crash_leaves_no_node_residue():
     assert not any(p.is_live() for p in node.supervisor.processes.values())
 
 
+def test_lazy_crash_compaction_is_behavior_identical():
+    """cancel_node_events compacts lazily (cancelled entries may linger
+    in the index heaps); the observable scheduling state — window_for,
+    peek_next_time — must exactly match a naive recomputation over the
+    live events, before and after further queue churn."""
+    from repro.sim.units import FOREVER
+    from repro.sim.world import World
+
+    def naive_window(world, node, lookahead):
+        live = [h for h in world._queue if not h.cancelled]
+        own = min((h.time for h in live if h.node == node), default=FOREVER)
+        glob = min((h.time for h in live if h.node is None), default=FOREVER)
+        window = min(own, glob)
+        if live:
+            window = min(window, min(h.time for h in live) + lookahead)
+        return window
+
+    world = World(seed=0)
+    nothing = lambda: None
+    for t in range(10, 100, 10):
+        world.schedule_at(t, nothing, node=0)
+        world.schedule_at(t + 1, nothing, node=1)
+    world.schedule_at(55, nothing)  # global
+    survivor = world.schedule_at(70, nothing, node=1, survives_crash=True)
+
+    cancelled = world.cancel_node_events(1)
+    assert cancelled == 9  # every node-1 event except the survivor
+    assert not survivor.cancelled
+    # Window/peek agree with the naive fold over live events only.
+    for node in (0, 1, 2):
+        assert world.window_for(node, 3_500) == naive_window(world, node, 3_500)
+    assert world.peek_next_time() == 10
+    # The survivor still bounds node 1's own window.
+    assert world.window_for(1, FOREVER) == min(55, 70)
+    # Churn the queue: caches must invalidate, identity must hold.
+    world.schedule_at(5, nothing, node=2)
+    for node in (0, 1, 2):
+        assert world.window_for(node, 3_500) == naive_window(world, node, 3_500)
+    assert world.peek_next_time() == 5
+    # A second crash drops the survivor's heap entirely once it fires.
+    survivor.cancel()
+    assert world.cancel_node_events(1) == 0
+    assert 1 not in world._node_index
+
+
 def test_crash_then_reboot_via_nemesis_counts_in_metrics():
     cluster = Cluster(names=["app", "debugger"])
     image = cluster.load_program(SPIN, "app")
