@@ -1,0 +1,309 @@
+"""E16 — event-kernel throughput: timing wheel vs the legacy heap.
+
+The kernel refactor replaced the single global ``heapq`` (Python-level
+``EventHandle.__lt__`` comparisons, no compaction of single cancels)
+with a bucketed timing wheel plus tombstone accounting that keeps
+stored entries within twice the live count.  This experiment measures
+what that buys at 256+ nodes, in three cuts:
+
+* **E16a — post-churn drain throughput.**  The regime the old engine
+  was worst at: a world where most scheduled timers were cancelled
+  before firing (RPC timeouts whose calls completed — in practice the
+  overwhelming majority).  The heap keeps every tombstone until its
+  time comes and pays a full O(log n) sift-down to wade past each; the
+  wheel compacted them away long ago.  Throughput is events executed
+  per second of host time over the drain, warmup (backlog construction)
+  excluded on both sides equally.  Target: >= 10x at 256+ nodes.
+* **E16b — end-to-end workload.**  An E15-style tick/RPC-timeout churn
+  driven through the full ``World`` facade.  Callback dispatch and
+  bookkeeping are engine-independent, so the ratio here is structurally
+  smaller — reported to keep E16a honest about what end users see.
+  The stored-entry counts alongside it show the memory story.
+* **E16c — record overhead re-measure (E13 follow-up).**  TraceWriter
+  now defers event materialization to ``finish()``, so recording no
+  longer perturbs the run loop (E13 measured 1.43x dilation when
+  encoding was inline).  Both the run-window dilation and the total
+  including the deferred encode are reported; the assertion is on the
+  run window, which is what recording used to distort.
+
+A 512-node halt-transparency run (E15's mesh result at 8x the scale)
+rides along: every peer must still halt within one Basic Block of the
+first.
+
+Scale knobs for CI smoke runs: ``E16_NODES`` (drain + workload node
+count, default 256) and ``E16_HALT_NODES`` (halt broadcast size,
+default 512).
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+
+from benchmarks.common import print_table
+from benchmarks.test_e15_scale import measure_halt_offsets
+from repro import MS, SEC, Cluster
+from repro.faults.plan import Nemesis
+from repro.kernel import make_core
+from repro.replay import TraceWriter
+from repro.sim.world import World
+
+N_NODES = int(os.environ.get("E16_NODES", "256"))
+HALT_NODES = int(os.environ.get("E16_HALT_NODES", "512"))
+
+#: Standing RPC-timeout backlog per node for the drain measurement.
+TIMERS_PER_NODE = 2000
+
+#: One timer in KEEP_EVERY actually fires; the rest are cancelled
+#: before their time (the RPC completed).  1-in-20 is conservative —
+#: real services complete far more than 95% of calls inside the
+#: timeout.
+KEEP_EVERY = 20
+
+#: Synthetic payload tags for the bare-core drive (the kernel stores
+#: ``fn`` opaquely; only the drain loop interprets it).
+_TIMEOUT, _TICK = 1, 2
+
+
+# ----------------------------------------------------------------------
+# E16a: post-churn drain on the bare cores
+# ----------------------------------------------------------------------
+
+def build_churned_core(name: str, nodes: int):
+    """A core holding ``nodes`` x ``TIMERS_PER_NODE`` scheduled RPC
+    timeouts of which 19 in 20 were already cancelled (call completed).
+
+    The legacy heap keeps every tombstone until its time arrives; the
+    wheel's accounting compacts them as they accumulate.
+    """
+    core = make_core(name)
+    for n in range(nodes):
+        offset = (n * 37) % 1000
+        for k in range(TIMERS_PER_NODE):
+            handle = core.schedule_at(
+                k * 1000 + offset, _TIMEOUT, (), node=n
+            )
+            if k % KEEP_EVERY != 0:
+                handle.cancel()
+    return core
+
+
+def drain_churned(core, chained: int) -> tuple[int, float]:
+    """Pop the core dry; each surviving timeout schedules one near
+    follow-up tick (capped at ``chained``) so the measured mix includes
+    pushes against the standing backlog, not just pops.  Returns
+    (events executed, host seconds)."""
+    events = 0
+    budget = 0
+    start = time.perf_counter()
+    while True:
+        handle = core.pop_next()
+        if handle is None:
+            break
+        events += 1
+        if handle.fn == _TIMEOUT and budget < chained:
+            budget += 1
+            core.schedule_at(handle.time + 500, _TICK, (), node=handle.node)
+    return events, time.perf_counter() - start
+
+
+def measure_drain(nodes: int) -> dict:
+    """E16a for both engines at ``nodes``; returns per-engine stats."""
+    chained = nodes * (TIMERS_PER_NODE // KEEP_EVERY)
+    stats = {}
+    for name in ("wheel", "heap"):
+        core = build_churned_core(name, nodes)
+        stored = core.stored_count()
+        gc.collect()
+        events, seconds = drain_churned(core, chained)
+        stats[name] = {
+            "stored": stored,
+            "events": events,
+            "seconds": seconds,
+            "rate": events / seconds,
+        }
+        del core
+    return stats
+
+
+# ----------------------------------------------------------------------
+# E16b: end-to-end World workload
+# ----------------------------------------------------------------------
+
+def _noop() -> None:
+    pass
+
+
+def run_world_workload(kernel: str, nodes: int,
+                       until: int = 500 * MS) -> dict:
+    """E15-style churn through the full facade: per node per 1 ms tick,
+    three RPC timeouts scheduled 200 ms out, the three from 8 ticks ago
+    cancelled (calls completed), one cross-node send, one window query.
+    Runs past the timeout horizon so cancelled timers reach their time
+    and the engines pay their respective tombstone costs."""
+    t_out, per_tick, keep = 200 * MS, 3, 8
+    world = World(seed=0, kernel=kernel)
+    schedule = world.schedule
+
+    def tick(n: int, ring: list) -> None:
+        if len(ring) >= keep:
+            for handle in ring.pop(0):
+                handle.cancel()
+        ring.append([schedule(t_out + k, _noop, node=n)
+                     for k in range(per_tick)])
+        schedule(3500, _noop, node=(n * 7 + 1) % nodes)
+        world.window_for(n, 3500)
+        schedule(1000, tick, n, ring, node=n)
+
+    for n in range(nodes):
+        world.schedule_at(n % 1000, tick, n, [], node=n)
+    start = time.perf_counter()
+    world.run(until=until)
+    seconds = time.perf_counter() - start
+    result = {
+        "events": world.events_processed,
+        "seconds": seconds,
+        "rate": world.events_processed / seconds,
+        "stored": world.kernel.stored_count(),
+    }
+    world.close()
+    return result
+
+
+# ----------------------------------------------------------------------
+# E16c: record overhead (E13 re-measure with deferred materialization)
+# ----------------------------------------------------------------------
+
+def time_recorded_run(mode: str) -> float:
+    """One chaos run (E13's harness shape): ``bare``, ``record`` (run
+    window only), or ``record+finish`` (including the deferred encode)."""
+    from benchmarks.test_e13_replay import (
+        CHAOS_CLIENT, NAMES, _build, _chaos_plan,
+    )
+
+    cluster = Cluster(names=NAMES, seed=7)
+    writer = None
+    if mode != "bare":
+        writer = TraceWriter(cluster, plan=_chaos_plan(),
+                             checkpoint_every=100 * MS)
+    _build(CHAOS_CLIENT)(cluster)
+    Nemesis(cluster, _chaos_plan())
+    start = time.perf_counter()
+    cluster.run(until=4 * SEC)
+    if mode == "record+finish" and writer is not None:
+        writer.finish()
+    return time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Tests
+# ----------------------------------------------------------------------
+
+def test_e16_drain_throughput(benchmark):
+    stats = benchmark.pedantic(
+        measure_drain, args=(N_NODES,), rounds=1, iterations=1
+    )
+    wheel, heap = stats["wheel"], stats["heap"]
+    ratio = wheel["rate"] / heap["rate"]
+    rows = [
+        [name, f"{s['stored']:,}", f"{s['events']:,}",
+         f"{s['seconds'] * 1e3:.0f}", f"{s['rate']:,.0f}"]
+        for name, s in (("heap (pre-refactor)", heap),
+                        ("wheel", wheel))
+    ]
+    print_table(
+        f"E16a: post-churn drain at {N_NODES} nodes "
+        f"({TIMERS_PER_NODE} timers/node, 1 in {KEEP_EVERY} fires) "
+        f"— wheel is {ratio:.1f}x",
+        ["engine", "stored at start", "events", "host ms", "events/s"],
+        rows,
+    )
+    # Identical work on both sides.
+    assert wheel["events"] == heap["events"]
+    # The tombstone accounting itself: the wheel enters the drain
+    # having compacted what the heap still stores.
+    assert heap["stored"] >= 4 * wheel["stored"]
+    # The headline target: >= 10x at 256+ nodes (measured 14-25x at
+    # 64/256/512; the smoke bound leaves room for slow CI hosts).
+    assert ratio >= (10.0 if N_NODES >= 256 else 6.0)
+
+
+def test_e16_world_workload(benchmark):
+    def run_both() -> dict:
+        results = {}
+        for kernel in ("wheel", "heap"):
+            gc.collect()
+            results[kernel] = run_world_workload(kernel, N_NODES)
+        return results
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    wheel, heap = results["wheel"], results["heap"]
+    ratio = wheel["rate"] / heap["rate"]
+    rows = [
+        [name, f"{r['events']:,}", f"{r['seconds']:.2f}",
+         f"{r['rate']:,.0f}", f"{r['stored']:,}"]
+        for name, r in (("heap (pre-refactor)", heap),
+                        ("wheel", wheel))
+    ]
+    print_table(
+        f"E16b: end-to-end tick/timeout churn at {N_NODES} nodes "
+        f"— wheel is {ratio:.2f}x",
+        ["kernel", "events", "host s", "events/s", "stored at end"],
+        rows,
+    )
+    # Same simulation on both engines.
+    assert wheel["events"] == heap["events"]
+    # End-to-end includes engine-independent dispatch, so the bar is
+    # lower here (measured ~2x); the memory bound is the sharp one.
+    assert ratio >= 1.3
+    assert heap["stored"] >= 10 * wheel["stored"]
+
+
+def test_e16_halt_transparency_at_scale(benchmark):
+    offsets = benchmark.pedantic(
+        measure_halt_offsets, args=("mesh",),
+        kwargs={"n_nodes": HALT_NODES}, rounds=1, iterations=1,
+    )
+    within_block = sum(1 for off in offsets if off <= 3_500 + 100)
+    print_table(
+        f"E16: {HALT_NODES}-node mesh halt broadcast",
+        ["peers halted", "last peer halted at", "peers < 3.6ms"],
+        [[len(offsets), f"{offsets[-1] / 1000:.1f}ms", within_block]],
+    )
+    # E15's mesh result survives 8x the scale: every peer halts within
+    # one Basic Block (plus the probe's 100 us polling quantum) of the
+    # first — per-link transmitters keep the bound independent of n.
+    assert len(offsets) == HALT_NODES - 1
+    assert within_block == HALT_NODES - 1
+
+
+def test_e16_record_overhead(benchmark):
+    def measure() -> dict:
+        time_recorded_run("record+finish")  # warm-up
+        return {
+            mode: min(time_recorded_run(mode) for _ in range(5))
+            for mode in ("bare", "record", "record+finish")
+        }
+
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    bare = result["bare"]
+    rows = [
+        ["bare chaos run", f"{bare * 1e3:.1f}", "1.00x"],
+        ["+ TraceWriter, run window",
+         f"{result['record'] * 1e3:.1f}",
+         f"{result['record'] / bare:.2f}x"],
+        ["+ TraceWriter, incl. deferred encode at finish()",
+         f"{result['record+finish'] * 1e3:.1f}",
+         f"{result['record+finish'] / bare:.2f}x"],
+    ]
+    print_table(
+        "E16c: record overhead with deferred materialization "
+        "(E13 measured 1.43x with inline encoding)",
+        ["configuration", "host ms", "vs bare"],
+        rows,
+    )
+    # Recording must no longer perturb the run loop: the raw-append
+    # hook costs a few percent (measured 1.01x; 1.20x leaves noise
+    # room on millisecond-scale runs), well under E13's inline 1.43x.
+    assert result["record"] <= 1.20 * bare

@@ -268,8 +268,9 @@ def shrink_cell(
         stem = f"{cell.scenario}_s{cell.seed}_{cell.plan_name}"
         if cell.topology != "ring":
             stem += f"_{cell.topology}"
-        path = directory / f"{stem}.min.trace.jsonl"
-
+        # Reproducers ship in the primary binary container; `repro`
+        # sniffs the format, so hand-converted JSONL twins work too.
+        path = directory / f"{stem}.min.trace.bin"
         trace.save(path)
         result.trace_path = str(path)
         result.repro_command = f"python -m repro.campaign repro {path}"

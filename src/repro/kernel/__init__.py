@@ -1,0 +1,42 @@
+"""The pure event-kernel core: the hot path of the whole reproduction.
+
+Everything above this package — supervisor slices, transports, RPC,
+agents, the debugger, record/replay — is expressed as events pushed
+through one of these engines.  The package holds no simulation policy:
+no clock, no RNG, no bus.  That lives in :class:`repro.sim.world.World`,
+which is a thin facade over a core picked from the registry here.
+
+* :mod:`repro.kernel.wheel` — the bucketed timing wheel (calendar
+  queue): O(1) amortized push/pop with no Python-level comparisons;
+* :mod:`repro.kernel.core` — :class:`EventCore` (wheel engine with
+  per-node/global window indexes, version-counter memoization, lazy
+  cancellation and tombstone compaction) and :class:`HeapEventCore`
+  (the pre-refactor single-``heapq`` engine, kept as the E16 baseline
+  and behavioral cross-check);
+* :mod:`repro.kernel.profile` — the ``REPRO_PROFILE=1`` cProfile hook.
+
+Both engines implement the same contract and produce the exact same
+event order: the total order on ``(time, seq)``.  Experiment E16
+measures the difference in throughput; the golden-trace CI job pins the
+equivalence in behavior.
+"""
+
+from repro.kernel.core import (
+    CORES,
+    EventCore,
+    EventHandle,
+    HeapEventCore,
+    SimulationError,
+    make_core,
+)
+from repro.kernel.wheel import TimingWheel
+
+__all__ = [
+    "CORES",
+    "EventCore",
+    "EventHandle",
+    "HeapEventCore",
+    "SimulationError",
+    "TimingWheel",
+    "make_core",
+]

@@ -284,18 +284,28 @@ class Transport:
 
         delivery_time = tx_start + self._latency(packet)
         if self.shaper is None:
-            self.world.schedule_at(
-                delivery_time, self._deliver, packet,
-                node=packet.dst, survives_crash=True,
-            )
+            self._schedule_delivery(delivery_time, packet)
         else:
             # The shaper may delay, duplicate, or hold back (reorder) the
             # packet: one delivery per returned offset.
             for offset in self.shaper.delivery_offsets(packet):
-                self.world.schedule_at(
-                    delivery_time + offset, self._deliver, packet,
-                    node=packet.dst, survives_crash=True,
-                )
+                self._schedule_delivery(delivery_time + offset, packet)
+
+    def _schedule_delivery(self, delivery_time: int, packet: BasicBlock) -> None:
+        """Schedule the terminal delivery of one packet copy.
+
+        The base implementation pays one kernel event per copy, tagged
+        with the destination node so the event is retracted if that node
+        crashes — except it is marked ``survives_crash``: the packet is
+        already on the wire, so a crash resolves as a drop at delivery
+        time instead.  Fabrics where many deliveries land on the same
+        microsecond may override this to batch them into one kernel
+        event (see :meth:`repro.net.mesh.MeshTransport._schedule_delivery`).
+        """
+        self.world.schedule_at(
+            delivery_time, self._deliver, packet,
+            node=packet.dst, survives_crash=True,
+        )
 
     def _deliver(self, packet: BasicBlock) -> None:
         """Terminal delivery: the silent-loss decision point + dispatch."""

@@ -34,6 +34,9 @@ class MeshTransport(Transport):
         super().__init__(world, params)
         #: Per-directed-link latency overrides: ``(src, dst) -> µs``.
         self.link_latency: dict[tuple[int, int], int] = {}
+        #: delivery_time -> packets landing on that microsecond, in send
+        #: order.  One kernel event per distinct time, not per packet.
+        self._delivery_batches: dict[int, list[BasicBlock]] = {}
 
     def set_link_latency(self, src: int, dst: int, latency: int) -> None:
         """Override the latency of the directed link ``src -> dst``."""
@@ -66,6 +69,34 @@ class MeshTransport(Transport):
             self.params.mesh_tx_serialization
             + extra_kb * self.params.mesh_per_kb_latency
         )
+
+    def _schedule_delivery(self, delivery_time: int, packet: BasicBlock) -> None:
+        """Batch same-microsecond deliveries into one kernel event.
+
+        A mesh broadcast (the halt protocol, scatter RPC) puts one packet
+        on every link with identical latency, so at 512 nodes a single
+        broadcast used to cost 511 wheel pushes landing on the same
+        microsecond.  Here the first packet for a given delivery time
+        schedules one *global* flush event and later packets just append
+        to its list.  A global event is the conservative choice: it
+        bounds every node's execution window at the delivery time (a
+        per-destination event only bounds others at +lookahead), so no
+        node can run past a delivery it could previously have observed.
+        Crash semantics are unchanged — these deliveries always survived
+        the destination's crash (``survives_crash``) and resolve as
+        drops in :meth:`Transport._deliver`.
+        """
+        batch = self._delivery_batches.get(delivery_time)
+        if batch is not None:
+            batch.append(packet)
+            return
+        self._delivery_batches[delivery_time] = [packet]
+        self.world.schedule_at(delivery_time, self._flush_batch, delivery_time)
+
+    def _flush_batch(self, delivery_time: int) -> None:
+        """Deliver every packet batched on ``delivery_time``, in send order."""
+        for packet in self._delivery_batches.pop(delivery_time, ()):
+            self._deliver(packet)
 
     def __repr__(self) -> str:
         return (

@@ -5,7 +5,10 @@ stream; this package turns that stream into a first-class artifact:
 
 * :mod:`repro.replay.trace` — :class:`TraceWriter` subscribes to the bus
   and persists a run (seed, params, fault plan, normalized events) as a
-  versioned JSONL trace; :class:`Trace` loads one back;
+  versioned trace; :class:`Trace` loads one back, sniffing the encoding;
+* :mod:`repro.replay.format` — the primary length-prefixed binary
+  container (struct-packed events, optional zlib framing); JSONL stays
+  as the export/interchange view (``python -m repro.replay convert``);
 * :mod:`repro.replay.checkpoint` — periodic :class:`Checkpoint`
   snapshots (state digests + folded :class:`StateView`) so seeking does
   not re-fold from t=0;
@@ -20,6 +23,7 @@ stream; this package turns that stream into a first-class artifact:
 """
 
 from repro.replay.checkpoint import Checkpoint, StateView, capture_view, fold_view
+from repro.replay.format import TraceFormatError, sniff_format
 from repro.replay.races import detect_races
 from repro.replay.replay import (
     ReplayDivergence,
@@ -38,7 +42,9 @@ __all__ = [
     "TRACE_VERSION",
     "Trace",
     "TraceEvent",
+    "TraceFormatError",
     "TraceWriter",
+    "sniff_format",
     "Checkpoint",
     "StateView",
     "capture_view",

@@ -1,0 +1,5 @@
+"""Module entry point: ``python -m repro.replay`` (see :mod:`repro.replay.cli`)."""
+
+from repro.replay.cli import main
+
+raise SystemExit(main())

@@ -85,6 +85,7 @@ def record_run(
     """
     from repro.cluster import Cluster
     from repro.faults.plan import Nemesis
+    from repro.kernel.profile import ProfileHook
 
     cluster = Cluster(names=names, seed=seed, params=params,
                       clock_skews=clock_skews, topology=topology)
@@ -93,13 +94,19 @@ def record_run(
     build(cluster)
     if plan is not None:
         Nemesis(cluster, plan)
-    if run_until is not None:
-        cluster.run(until=run_until)
-        drive = {"mode": "until", "until": run_until}
-    else:
-        cluster.run()
-        drive = {"mode": "drain"}
-    return writer.finish(drive=drive)
+    # REPRO_PROFILE=1 wraps the drive in cProfile; the stats land next
+    # to the trace file when it is saved (see EXPERIMENTS.md).
+    hook = ProfileHook()
+    with hook:
+        if run_until is not None:
+            cluster.run(until=run_until)
+            drive = {"mode": "until", "until": run_until}
+        else:
+            cluster.run()
+            drive = {"mode": "drain"}
+    trace = writer.finish(drive=drive)
+    trace.profile = hook
+    return trace
 
 
 class ReplayWorld:

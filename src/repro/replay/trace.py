@@ -1,6 +1,9 @@
-"""Versioned JSONL traces of a recorded run.
+"""Versioned traces of a recorded run.
 
-A trace is one JSON object per line:
+A trace carries four kinds of records — on disk either in the primary
+binary container (:mod:`repro.replay.format`) or as the JSONL export
+view, one JSON object per line (:meth:`Trace.load` sniffs the content;
+:meth:`Trace.save` picks by extension, ``.jsonl`` staying JSONL):
 
 * a **header** — trace version, the cluster recipe (seed, node names,
   topology, clock skews, full ``Params``), the serialized ``FaultPlan``,
@@ -124,6 +127,10 @@ class Trace:
         self.events = events
         self.checkpoints = checkpoints
         self.footer = footer
+        #: A :class:`repro.kernel.profile.ProfileHook` when the run was
+        #: recorded under ``REPRO_PROFILE=1``; :meth:`save` drops its
+        #: stats next to the trace file.
+        self.profile = None
 
     # -- derived accessors ---------------------------------------------
 
@@ -174,8 +181,36 @@ class Trace:
 
     # -- persistence ----------------------------------------------------
 
-    def save(self, path) -> None:
-        """Write the trace as versioned JSONL to ``path``."""
+    def save(self, path, format: Optional[str] = None) -> None:
+        """Write the trace to ``path``.
+
+        ``format`` is ``"binary"`` (the primary container, optionally
+        zlib-framed), ``"jsonl"`` (the export view), or ``None`` to
+        infer from the extension: ``.jsonl`` paths stay JSONL, anything
+        else gets the binary container.  Both encodings store the same
+        canonical normalized lines, so fingerprints and byte-identity
+        checks agree across a round-trip.
+        """
+        if format is None:
+            format = "jsonl" if str(path).endswith(".jsonl") else "binary"
+        if format == "binary":
+            from repro.replay.format import write_binary
+            write_binary(self, path)
+        elif format == "jsonl":
+            self._save_jsonl(path)
+        else:
+            raise ValueError(f"unknown trace format {format!r}")
+        if self.profile is not None:
+            self.profile.dump_next_to(path)
+
+    def _save_jsonl(self, path) -> None:
+        """Write the trace as versioned JSONL to ``path``.
+
+        Every line is dumped with sorted keys — the same canonical form
+        the binary container uses for its JSON blobs — so converting a
+        trace binary → jsonl → binary is byte-faithful in both
+        directions.
+        """
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(json.dumps({"kind": "header", **self.header},
                                 sort_keys=True) + "\n")
@@ -186,18 +221,33 @@ class Trace:
             for event in self.events:
                 while next_cp is not None and next_cp.index <= event.index:
                     fh.write(json.dumps({"kind": "checkpoint",
-                                         **next_cp.to_dict()}) + "\n")
+                                         **next_cp.to_dict()},
+                                        sort_keys=True) + "\n")
                     next_cp = next(cp_iter, None)
-                fh.write(json.dumps(event.to_dict()) + "\n")
+                fh.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
             while next_cp is not None:
                 fh.write(json.dumps({"kind": "checkpoint",
-                                     **next_cp.to_dict()}) + "\n")
+                                     **next_cp.to_dict()},
+                                    sort_keys=True) + "\n")
                 next_cp = next(cp_iter, None)
-            fh.write(json.dumps({"kind": "footer", **self.footer}) + "\n")
+            fh.write(json.dumps({"kind": "footer", **self.footer},
+                                sort_keys=True) + "\n")
 
     @classmethod
     def load(cls, path) -> "Trace":
-        """Load and validate a trace previously written by :meth:`save`."""
+        """Load and validate a trace previously written by :meth:`save`.
+
+        The format is sniffed from the content (binary magic vs JSONL),
+        so callers never care how a trace happens to be stored.
+        """
+        from repro.replay.format import read_binary, sniff_format
+        if sniff_format(path) == "binary":
+            return read_binary(path)
+        return cls._load_jsonl(path)
+
+    @classmethod
+    def _load_jsonl(cls, path) -> "Trace":
+        """Parse the JSONL encoding."""
         header: Optional[dict] = None
         footer: Optional[dict] = None
         events: list[TraceEvent] = []
@@ -264,6 +314,15 @@ class TraceWriter:
             "meta": meta or {},
         }
         self.events: list[TraceEvent] = []
+        #: Raw obs events captured during the run.  Materializing a
+        #: TraceEvent (normalizing payloads, rendering the line, JSON
+        #: round-trips) is deferred to :meth:`finish` — the recording
+        #: hot path is one list append, which is most of why record
+        #: overhead stays low (experiment E13).  Deferral is sound
+        #: because everything the normalizer reads (packet src/dst/
+        #: port/kind/size and first-seen order, process pid/name) is
+        #: immutable for the lifetime of the run.
+        self._raw: list[ev.Event] = []
         self.checkpoints: list[Checkpoint] = []
         self._normalizer = PayloadNormalizer()
         self._types = _all_event_types()
@@ -289,27 +348,14 @@ class TraceWriter:
 
     def _capture_checkpoint(self, time: int) -> None:
         self.checkpoints.append(Checkpoint(
-            index=len(self.events),
+            index=len(self._raw),
             time=time,
             state=capture_state(self.cluster),
             view=capture_view(self.cluster, self._base_counts, time),
         ))
 
     def _on_event(self, event: ev.Event) -> None:
-        index = len(self.events)
-        fields = {
-            name: self._normalizer.structured(name, value)
-            for name, value in iter_payload_fields(event)
-        }
-        self.events.append(TraceEvent(
-            index=index,
-            type=type(event).__name__,
-            time=event.time,
-            node=event.node,
-            seq=event.seq,
-            fields=fields,
-            line=normalize_line(event, self._normalizer),
-        ))
+        self._raw.append(event)
         if self._next_checkpoint_at is None:
             return
         if event.time >= self._next_checkpoint_at:
@@ -339,6 +385,7 @@ class TraceWriter:
             raise RuntimeError("TraceWriter.finish() called twice")
         self._finished = True
         self.detach()
+        self._materialize()
         footer = {
             "final_time": self.cluster.world.now,
             "events": len(self.events),
@@ -347,8 +394,29 @@ class TraceWriter:
         }
         return Trace(self.header, self.events, self.checkpoints, footer)
 
+    def _materialize(self) -> None:
+        """Build the TraceEvents from the raw capture, in stream order
+        (the normalizer rebases packet ids by first-seen order, so the
+        deferred pass renders exactly what an inline pass would have)."""
+        normalizer = self._normalizer
+        for index, event in enumerate(self._raw):
+            fields = {
+                name: normalizer.structured(name, value)
+                for name, value in iter_payload_fields(event)
+            }
+            self.events.append(TraceEvent(
+                index=index,
+                type=type(event).__name__,
+                time=event.time,
+                node=event.node,
+                seq=event.seq,
+                fields=fields,
+                line=normalize_line(event, normalizer),
+            ))
+        self._raw.clear()
+
     def __repr__(self) -> str:
         return (
-            f"<TraceWriter events={len(self.events)} "
+            f"<TraceWriter events={len(self._raw) or len(self.events)} "
             f"checkpoints={len(self.checkpoints)}>"
         )

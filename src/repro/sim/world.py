@@ -1,13 +1,20 @@
 """The event-driven simulation world.
 
-A :class:`World` owns the virtual clock and the event queue.  Everything in
-the reproduction — supervisor scheduling, ring packet delivery, semaphore
-timeouts, agent halt broadcasts — is expressed as events scheduled here.
+A :class:`World` owns the virtual clock and an event engine from
+:mod:`repro.kernel`.  Everything in the reproduction — supervisor
+scheduling, packet delivery, semaphore timeouts, agent halt broadcasts —
+is expressed as events scheduled here.  The world itself is a thin
+facade: all queue mechanics (the timing wheel, window indexes, lazy
+cancellation, tombstone compaction) live in the kernel package, and the
+world adds the clock, the seeded RNG, the instrumentation bus, and the
+run loop.
 
 Determinism rules
 -----------------
 * Events with equal timestamps run in the order they were scheduled (a
-  monotonically increasing sequence number breaks ties).
+  monotonically increasing sequence number breaks ties) — the total
+  order on ``(time, seq)`` is the kernel contract, identical across
+  every registered engine.
 * All randomness flows through ``world.rng``, a seeded ``random.Random``.
 * Handlers may advance the clock cooperatively with :meth:`World.advance`,
   but never past the next queued event; this is how node CPU slices
@@ -16,91 +23,21 @@ Determinism rules
 
 from __future__ import annotations
 
-import heapq
-import random
-from typing import Any, Callable, Optional
+import os
+from typing import Any, Callable, Optional, Union
 
+import random
+
+from repro.kernel.core import EventHandle, SimulationError, make_core
 from repro.obs.bus import Bus
 from repro.obs.metrics import Metrics, install_default_metrics
 from repro.sim.units import FOREVER
 
-
-class SimulationError(Exception):
-    """Raised on misuse of the simulation kernel (e.g. scheduling in the past)."""
-
-
-class EventHandle:
-    """A cancellable reference to a scheduled event.
-
-    Cancellation is lazy: the queue entry stays in the heap but is skipped
-    when popped.  ``remaining(now)`` reports the time left until the event
-    fires, which the supervisor uses to freeze semaphore timeouts while a
-    node is halted at a breakpoint.
-
-    ``node`` tags the event with the node it can affect (packet delivery to
-    that node, its timers, its scheduler ticks); untagged events are global
-    and bound every node's execution window.
-
-    ``survives_crash`` marks node-tagged events whose cause lives *off*
-    the node — an in-flight ring delivery is on the wire, so the
-    destination crashing must not retract it (the interface-level drop is
-    modelled at delivery time instead).
-    """
-
-    __slots__ = (
-        "time", "seq", "fn", "args", "cancelled", "node", "survives_crash",
-        "owner",
-    )
-
-    def __init__(
-        self,
-        time: int,
-        seq: int,
-        fn: Callable[..., Any],
-        args: tuple,
-        node: Optional[int] = None,
-        survives_crash: bool = False,
-        owner: Optional["World"] = None,
-    ):
-        self.time = time
-        self.seq = seq
-        self.fn = fn
-        self.args = args
-        self.cancelled = False
-        self.node = node
-        self.survives_crash = survives_crash
-        #: Back-reference to the owning world so cancellation can
-        #: invalidate its cached execution windows (see World._version).
-        self.owner = owner
-
-    def cancel(self) -> None:
-        if not self.cancelled:
-            self.cancelled = True
-            if self.owner is not None:
-                self.owner._version += 1
-                self.owner = None
-        # Drop references so cancelled closures do not pin objects alive.
-        self.fn = _nothing
-        self.args = ()
-
-    def remaining(self, now: int) -> int:
-        """Microseconds until this event fires (>= 0)."""
-        return max(0, self.time - now)
-
-    def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
-
-    def __repr__(self) -> str:
-        state = "cancelled" if self.cancelled else "pending"
-        return f"<EventHandle t={self.time} seq={self.seq} {state}>"
-
-
-def _nothing(*_args: Any) -> None:
-    """Placeholder callback for cancelled events."""
+__all__ = ["EventHandle", "SimulationError", "World"]
 
 
 class World:
-    """Global virtual clock plus event queue.
+    """Global virtual clock plus event engine.
 
     Multi-node parallelism: nodes consume CPU time on *local* cursors that
     run ahead of ``now`` inside an execution window computed by
@@ -117,9 +54,15 @@ class World:
         Seed for the world's random number generator.  Two worlds created
         with the same seed and driven by the same code produce identical
         event traces.
+    kernel:
+        The event engine: a registry name (``"wheel"``, the default, or
+        ``"heap"``, the pre-refactor baseline), or an already-built core
+        object.  Overridable with the ``REPRO_KERNEL`` environment
+        variable; every engine produces the identical event order, so
+        this is a performance knob, never a semantics knob.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, kernel: Union[str, Any, None] = None):
         self.now: int = 0
         self.rng = random.Random(seed)
         #: The instrumentation bus: every layer emits typed events here
@@ -130,23 +73,10 @@ class World:
         #: the bus at birth and back the layers' public counter properties.
         self.metrics = Metrics()
         install_default_metrics(self.bus, self.metrics)
-        self._queue: list[EventHandle] = []
-        #: Per-node index heaps (same handles) for window computation.
-        self._node_index: dict[int, list[EventHandle]] = {}
-        self._global_index: list[EventHandle] = []
-        #: Bumped on every push and every live-event cancellation — any
-        #: change that can move a heap's *live* minimum.  Popping an
-        #: already-cancelled entry does not move a live minimum, so the
-        #: lazy cleanup inside :meth:`_peek_heap` needs no bump.  The
-        #: window/peek caches below key on this counter, which is what
-        #: makes :meth:`window_for` O(1) between queue changes instead of
-        #: re-deriving three heap minima per supervisor action.
-        self._version = 0
-        #: node -> ((version, lookahead, boundary), window).
-        self._window_cache: dict[int, tuple[tuple, int]] = {}
-        #: (version, boundary, next_time) for :meth:`peek_next_time`.
-        self._peek_cache: Optional[tuple[int, Optional[int], int]] = None
-        self._seq = 0
+        if kernel is None:
+            kernel = os.environ.get("REPRO_KERNEL", "wheel")
+        #: The event engine (see :mod:`repro.kernel`).
+        self.kernel = make_core(kernel) if isinstance(kernel, str) else kernel
         self._running = False
         self._stopped = False
         self._closed = False
@@ -187,57 +117,23 @@ class World:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self.now}"
             )
-        self._seq += 1
-        self._version += 1
-        handle = EventHandle(
-            time, self._seq, fn, args, node=node,
-            survives_crash=survives_crash, owner=self,
+        return self.kernel.schedule_at(
+            time, fn, args, node=node, survives_crash=survives_crash
         )
-        heapq.heappush(self._queue, handle)
-        if node is None:
-            heapq.heappush(self._global_index, handle)
-        else:
-            heapq.heappush(self._node_index.setdefault(node, []), handle)
-        return handle
 
     def cancel_node_events(self, node: int) -> int:
         """Cancel every pending event tagged with ``node``.
 
         Used by :meth:`repro.mayflower.node.Node.crash`: a fail-stopped
         machine must not have timers or scheduler ticks fire after the
-        crash.  Events marked ``survives_crash`` (in-flight ring
-        deliveries, which live on the wire) are kept — they still bound
-        execution windows and resolve at delivery time.  Returns the
-        number of live events cancelled.  The main queue keeps the (now
-        cancelled) entries and skips them when popped.
-
-        Compaction is lazy: cancelled entries stay in the node's index
-        heap too (:meth:`_peek_heap` skips them at the top), so a crash
-        costs one flag flip per event instead of rebuilding the heap.
-        Only when live entries fall below half the heap is the heap
-        compacted, which amortizes to O(1) per cancellation and keeps a
-        crash-churned 64-node run from dragging dead entries around.
+        crash.  Events marked ``survives_crash`` (in-flight deliveries,
+        which live on the wire) are kept — they still bound execution
+        windows and resolve at delivery time.  Returns the number of
+        live events cancelled; see
+        :meth:`repro.kernel.core.EventCore.cancel_node_events` for the
+        lazy-compaction contract.
         """
-        heap = self._node_index.get(node)
-        if not heap:
-            return 0
-        cancelled = 0
-        live = 0
-        for handle in heap:
-            if handle.cancelled:
-                continue
-            if handle.survives_crash:
-                live += 1
-            else:
-                handle.cancel()
-                cancelled += 1
-        if live == 0:
-            self._node_index.pop(node, None)
-        elif live * 2 < len(heap):
-            kept = [handle for handle in heap if not handle.cancelled]
-            heapq.heapify(kept)
-            self._node_index[node] = kept
-        return cancelled
+        return self.kernel.cancel_node_events(node)
 
     # ------------------------------------------------------------------
     # Cooperative clock advancement (used by node CPU slices)
@@ -250,48 +146,19 @@ class World:
         first reaching it, so a handler may safely consume CPU time up to
         (but not past) this boundary.
         """
-        cache = self._peek_cache
-        if (cache is not None and cache[0] == self._version
-                and cache[1] == self._boundary):
-            return cache[2]
-        top = self._peek_heap(self._queue)
-        if self._boundary is not None:
-            top = min(top, self._boundary)
-        self._peek_cache = (self._version, self._boundary, top)
-        return top
-
-    @staticmethod
-    def _peek_heap(queue: list[EventHandle]) -> int:
-        while queue and queue[0].cancelled:
-            heapq.heappop(queue)
-        return queue[0].time if queue else FOREVER
+        return self.kernel.peek_next_time(self._boundary)
 
     def window_for(self, node: int, lookahead: int) -> int:
         """How far node ``node`` may run its CPU ahead of ``now``.
 
         Bounded by the node's own next event, any global event, any other
         node's next event plus ``lookahead`` (the minimum cross-node
-        latency), and the active run(until=...) boundary.
-
-        Incremental: the result is cached per node and reused until the
-        queue changes (``self._version``) — this is the supervisor's
-        per-action hot path, and at 64 nodes a slice re-derives the same
+        latency), and the active run(until=...) boundary.  Memoized in
+        the kernel until the queue changes — this is the supervisor's
+        per-action hot path, and at 512 nodes a slice re-derives the same
         window hundreds of times between queue mutations.
         """
-        key = (self._version, lookahead, self._boundary)
-        cached = self._window_cache.get(node)
-        if cached is not None and cached[0] == key:
-            return cached[1]
-        own = self._peek_heap(self._node_index.get(node, []))
-        global_next = self._peek_heap(self._global_index)
-        any_next = self._peek_heap(self._queue)
-        window = min(own, global_next)
-        if any_next < FOREVER:
-            window = min(window, any_next + lookahead)
-        if self._boundary is not None:
-            window = min(window, self._boundary)
-        self._window_cache[node] = (key, window)
-        return window
+        return self.kernel.window_for(node, lookahead, self._boundary)
 
     def advance(self, dt: int) -> None:
         """Advance the clock by ``dt`` from inside an event handler.
@@ -324,18 +191,15 @@ class World:
 
     def step(self) -> bool:
         """Process a single event.  Returns False when the queue is empty."""
-        queue = self._queue
-        while queue:
-            handle = heapq.heappop(queue)
-            if handle.cancelled:
-                continue
-            self.now = handle.time
-            fn, args = handle.fn, handle.args
-            handle.cancel()  # release references; the event is consumed
-            self.events_processed += 1
-            fn(*args)
-            return True
-        return False
+        handle = self.kernel.pop_next()
+        if handle is None:
+            return False
+        self.now = handle.time
+        fn, args = handle.fn, handle.args
+        handle.cancel()  # release references; the event is consumed
+        self.events_processed += 1
+        fn(*args)
+        return True
 
     def run(
         self,
@@ -385,7 +249,7 @@ class World:
 
     def pending_count(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for handle in self._queue if not handle.cancelled)
+        return self.kernel.live
 
     def close(self) -> None:
         """Tear the world down cheaply (for high-churn worker pools).
@@ -399,14 +263,7 @@ class World:
         """
         if self._running:
             raise SimulationError("cannot close a running world")
-        for handle in self._queue:
-            if not handle.cancelled:
-                handle.cancel()
-        self._queue.clear()
-        self._node_index.clear()
-        self._global_index.clear()
-        self._window_cache.clear()
-        self._peek_cache = None
+        self.kernel.clear()
         self.bus.clear()
         self._stopped = True
         self._closed = True

@@ -18,6 +18,9 @@ from pathlib import Path
 from repro import MS, SEC, FaultPlan, record_run
 
 GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / "echo_chaos_seed7.trace.jsonl"
+#: The same recording in the primary binary container; committed next to
+#: the JSONL twin and verified against the same fingerprint by CI.
+GOLDEN_BINARY_PATH = GOLDEN_PATH.with_name("echo_chaos_seed7.trace.bin")
 GOLDEN_SEED = 7
 GOLDEN_NAMES = ["client", "server", "debugger"]
 GOLDEN_RUN_UNTIL = 4 * SEC
@@ -73,6 +76,7 @@ def record():
 if __name__ == "__main__":
     trace = record()
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
-    trace.save(GOLDEN_PATH)
-    print(f"wrote {GOLDEN_PATH} ({len(trace.events)} events, "
-          f"fingerprint {trace.fingerprint()})")
+    trace.save(GOLDEN_PATH, format="jsonl")
+    trace.save(GOLDEN_BINARY_PATH, format="binary")
+    print(f"wrote {GOLDEN_PATH} and {GOLDEN_BINARY_PATH} "
+          f"({len(trace.events)} events, fingerprint {trace.fingerprint()})")

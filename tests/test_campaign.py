@@ -231,7 +231,7 @@ def test_campaign_shrinks_failures(tmp_path):
     shrink = report.shrinks[0]
     assert shrink["plan_name"] == "crash"
     assert shrink["minimal_windows"] <= 2
-    assert (tmp_path / "echo_s0_crash.min.trace.jsonl").exists()
+    assert (tmp_path / "echo_s0_crash.min.trace.bin").exists()
     assert "repro" in shrink["repro_command"]
 
 
@@ -269,7 +269,7 @@ def test_cli_run_and_repro_round_trip(tmp_path, capsys):
     assert "2 cells, 1 passed, 1 failed" in out
     assert report_path.exists()
 
-    trace_path = tmp_path / "echo_s0_crash.min.trace.jsonl"
+    trace_path = tmp_path / "echo_s0_crash.min.trace.bin"
     assert campaign_main(["repro", str(trace_path)]) == 0
     out = capsys.readouterr().out
     assert "REPRODUCED" in out

@@ -44,8 +44,8 @@ def test_crash_leaves_no_node_residue():
     node.crash()
     # Every pending node-tagged event is cancelled, except in-flight ring
     # deliveries (which live on the wire and resolve as drops).
-    heap = cluster.world._node_index.get(node.node_id, [])
-    assert all(h.cancelled or h.survives_crash for h in heap)
+    handles = cluster.world.kernel.node_handles(node.node_id)
+    assert all(h.cancelled or h.survives_crash for h in handles)
     assert node.station._ports == {}
     assert node.station.tx_free_at == 0
     # The corpse stays silent.
@@ -62,7 +62,7 @@ def test_lazy_crash_compaction_is_behavior_identical():
     from repro.sim.world import World
 
     def naive_window(world, node, lookahead):
-        live = [h for h in world._queue if not h.cancelled]
+        live = [h for h in world.kernel.iter_handles() if not h.cancelled]
         own = min((h.time for h in live if h.node == node), default=FOREVER)
         glob = min((h.time for h in live if h.node is None), default=FOREVER)
         window = min(own, glob)
@@ -95,7 +95,7 @@ def test_lazy_crash_compaction_is_behavior_identical():
     # A second crash drops the survivor's heap entirely once it fires.
     survivor.cancel()
     assert world.cancel_node_events(1) == 0
-    assert 1 not in world._node_index
+    assert not world.kernel.has_node_index(1)
 
 
 def test_crash_then_reboot_via_nemesis_counts_in_metrics():

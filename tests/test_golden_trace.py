@@ -9,16 +9,26 @@ regenerate with ``python -m tests.golden_scenario`` and say so in the
 commit.
 """
 
+import pytest
+
 from repro import Trace, replay_trace
-from tests.golden_scenario import GOLDEN_PATH, GOLDEN_SEED, build
+from tests.golden_scenario import (
+    GOLDEN_BINARY_PATH,
+    GOLDEN_PATH,
+    GOLDEN_SEED,
+    build,
+)
 
 GOLDEN_FINGERPRINT = (
     "47ca287c48c83655b4c20871b4aac199e4bc5e67fd3c38be28e6baff1304ecee"
 )
 
 
-def test_golden_trace_replays_byte_identically():
-    trace = Trace.load(GOLDEN_PATH)
+@pytest.mark.parametrize(
+    "path", [GOLDEN_PATH, GOLDEN_BINARY_PATH], ids=["jsonl", "binary"]
+)
+def test_golden_trace_replays_byte_identically(path):
+    trace = Trace.load(path)
     assert trace.seed == GOLDEN_SEED
     assert trace.fingerprint() == GOLDEN_FINGERPRINT
     assert trace.footer["fingerprint"] == GOLDEN_FINGERPRINT
@@ -26,3 +36,27 @@ def test_golden_trace_replays_byte_identically():
     assert report.identical
     assert report.fingerprint == GOLDEN_FINGERPRINT
     assert report.checkpoints_verified == len(trace.checkpoints)
+
+
+def test_golden_twins_are_the_same_recording():
+    """The committed binary twin is a re-encoding of the JSONL golden,
+    not a second recording: same lines, checkpoints, header, footer."""
+    jsonl = Trace.load(GOLDEN_PATH)
+    binary = Trace.load(GOLDEN_BINARY_PATH)
+    assert binary.lines() == jsonl.lines()
+    assert binary.header == jsonl.header
+    assert binary.footer == jsonl.footer
+    assert [c.to_dict() for c in binary.checkpoints] == \
+        [c.to_dict() for c in jsonl.checkpoints]
+
+
+def test_golden_twins_convert_byte_faithfully(tmp_path):
+    """Conversion is the exact inverse in both directions: re-encoding
+    either committed twin reproduces the other byte for byte (both
+    sides dump JSON in the same canonical sorted-keys form)."""
+    out_jsonl = tmp_path / "golden.trace.jsonl"
+    Trace.load(GOLDEN_BINARY_PATH).save(out_jsonl, format="jsonl")
+    assert out_jsonl.read_bytes() == GOLDEN_PATH.read_bytes()
+    out_binary = tmp_path / "golden.trace.bin"
+    Trace.load(GOLDEN_PATH).save(out_binary, format="binary")
+    assert out_binary.read_bytes() == GOLDEN_BINARY_PATH.read_bytes()

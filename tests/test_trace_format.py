@@ -1,0 +1,170 @@
+"""The binary trace container: round-trips, sniffing, and corruption.
+
+Every malformed-input path must raise a typed
+:class:`repro.replay.TraceFormatError` carrying the byte offset of the
+fault — a debugger's traces are its evidence, so a corrupt file has to
+say *where* it broke, not die in ``struct.unpack``.
+"""
+
+import struct
+
+import pytest
+
+from repro import MS, record_run
+from repro.replay import Trace, TraceFormatError, sniff_format
+from repro.replay.cli import main as replay_cli
+from repro.replay.format import MAGIC, _PREAMBLE, _RECORD
+
+PING = """
+proc main()
+  var r: int := remote svc.echo(1)
+  print r
+end
+"""
+
+ECHO = "proc echo(x: int) returns int\n  return x\nend"
+
+
+def small_trace():
+    def build(cluster):
+        image = cluster.load_program(ECHO, "b")
+        cluster.rpc("b").export_vm("svc", image, {"echo": "echo"})
+        client = cluster.load_program(PING, "a")
+        cluster.spawn_vm("a", client, "main")
+    return record_run(build, ["a", "b"], seed=3, run_until=100 * MS)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return small_trace()
+
+
+# ----------------------------------------------------------------------
+# Round-trips
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("compress", [True, False], ids=["zlib", "raw"])
+def test_binary_round_trip_is_lossless(trace, tmp_path, compress):
+    from repro.replay.format import write_binary
+
+    path = tmp_path / "t.trace.bin"
+    write_binary(trace, path, compress=compress)
+    loaded = Trace.load(path)
+    assert loaded.lines() == trace.lines()
+    assert loaded.header == trace.header
+    assert loaded.footer == trace.footer
+    assert loaded.fingerprint() == trace.fingerprint()
+    assert [c.to_dict() for c in loaded.checkpoints] == \
+        [c.to_dict() for c in trace.checkpoints]
+    assert sniff_format(path) == "binary"
+
+
+def test_save_infers_format_from_extension(trace, tmp_path):
+    binary = tmp_path / "t.trace.bin"
+    jsonl = tmp_path / "t.trace.jsonl"
+    trace.save(binary)
+    trace.save(jsonl)
+    assert sniff_format(binary) == "binary"
+    assert sniff_format(jsonl) == "jsonl"
+    assert Trace.load(binary).lines() == Trace.load(jsonl).lines()
+    # Binary should be markedly smaller than the JSONL view.
+    assert binary.stat().st_size < jsonl.stat().st_size
+
+
+def test_convert_cli_round_trips(trace, tmp_path, capsys):
+    source = tmp_path / "t.trace.jsonl"
+    trace.save(source)
+    assert replay_cli(["convert", str(source), "--to", "binary"]) == 0
+    twin = tmp_path / "t.trace.bin"
+    assert twin.exists()
+    back = tmp_path / "back.trace.jsonl"
+    assert replay_cli(
+        ["convert", str(twin), "--to", "jsonl", "-o", str(back)]) == 0
+    assert Trace.load(back).fingerprint() == trace.fingerprint()
+    out = capsys.readouterr().out
+    assert trace.fingerprint() in out
+
+
+def test_convert_cli_refuses_to_overwrite_input(trace, tmp_path):
+    source = tmp_path / "t.trace.bin"
+    trace.save(source)
+    assert replay_cli(
+        ["convert", str(source), "--to", "binary", "-o", str(source)]) == 1
+
+
+# ----------------------------------------------------------------------
+# Corruption: every fault is a typed error with a byte offset
+# ----------------------------------------------------------------------
+
+
+def binary_bytes(trace, tmp_path, compress=False):
+    from repro.replay.format import write_binary
+
+    path = tmp_path / "c.trace.bin"
+    write_binary(trace, path, compress=compress)
+    return path, path.read_bytes()
+
+
+def test_truncated_file_raises_with_offset(trace, tmp_path):
+    path, blob = binary_bytes(trace, tmp_path)
+    # Cut mid-record: past the preamble and the first record header.
+    path.write_bytes(blob[: len(blob) // 2])
+    with pytest.raises(TraceFormatError) as err:
+        Trace.load(path)
+    assert err.value.offset >= _PREAMBLE.size
+    assert "byte" in str(err.value)
+
+
+def test_bad_magic_raises_at_offset_zero(trace, tmp_path):
+    path, blob = binary_bytes(trace, tmp_path)
+    path.write_bytes(b"NOTTRACE" + blob[len(MAGIC):])
+    with pytest.raises(TraceFormatError) as err:
+        Trace.load(path)
+    assert err.value.offset == 0
+    assert "magic" in str(err.value)
+
+
+def test_unknown_format_version_raises(trace, tmp_path):
+    path, blob = binary_bytes(trace, tmp_path)
+    bad = MAGIC + struct.pack("<HH", 999, 0) + blob[_PREAMBLE.size:]
+    path.write_bytes(bad)
+    with pytest.raises(TraceFormatError) as err:
+        Trace.load(path)
+    assert err.value.offset == len(MAGIC)
+    assert "version 999" in str(err.value)
+
+
+def test_length_prefix_overrun_raises_with_offset(trace, tmp_path):
+    path, blob = binary_bytes(trace, tmp_path)
+    # Inflate the first record's length prefix far past the file end.
+    kind, _ = _RECORD.unpack_from(blob, _PREAMBLE.size)
+    patched = (blob[:_PREAMBLE.size]
+               + _RECORD.pack(kind, 2 ** 31)
+               + blob[_PREAMBLE.size + _RECORD.size:])
+    path.write_bytes(patched)
+    with pytest.raises(TraceFormatError) as err:
+        Trace.load(path)
+    assert err.value.offset == _PREAMBLE.size
+    assert "overruns" in str(err.value)
+
+
+def test_corrupt_zlib_frame_raises_with_offset(trace, tmp_path):
+    path, blob = binary_bytes(trace, tmp_path, compress=True)
+    # Flip bytes inside the first frame's deflate stream.
+    frame_data_at = _PREAMBLE.size + 8
+    patched = bytearray(blob)
+    for i in range(frame_data_at + 4, frame_data_at + 12):
+        patched[i] ^= 0xFF
+    path.write_bytes(bytes(patched))
+    with pytest.raises(TraceFormatError):
+        Trace.load(path)
+
+
+def test_truncated_jsonl_still_reports_missing_footer(trace, tmp_path):
+    path = tmp_path / "t.trace.jsonl"
+    trace.save(path)
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(lines[:-1]) + "\n")
+    with pytest.raises(ValueError, match="missing header/footer"):
+        Trace.load(path)

@@ -25,6 +25,7 @@ GATED = (
     "src/repro/campaign",
     "src/repro/debugger",
     "src/repro/faults",
+    "src/repro/kernel",
     "src/repro/net",
     "src/repro/replay",
 )

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Regenerate every committed golden trace, in both encodings.
+
+Run from the repo root when a change *intentionally* alters the event
+stream (and say so in the commit message)::
+
+    PYTHONPATH=src python tools/regen_goldens.py
+
+Records the golden scenario once and writes the JSONL and binary twins
+side by side under ``tests/golden/``, verifying that both files load
+back to the same fingerprint before reporting it.  The fingerprint it
+prints is what ``tests/test_golden_trace.py::GOLDEN_FINGERPRINT`` must
+be updated to.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+
+def main() -> int:
+    """Record the golden scenario and write both format twins."""
+    from repro.replay import Trace
+    from tests.golden_scenario import GOLDEN_BINARY_PATH, GOLDEN_PATH, record
+
+    trace = record()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    trace.save(GOLDEN_PATH, format="jsonl")
+    trace.save(GOLDEN_BINARY_PATH, format="binary")
+    fingerprint = trace.fingerprint()
+    for path in (GOLDEN_PATH, GOLDEN_BINARY_PATH):
+        reread = Trace.load(path)
+        if reread.fingerprint() != fingerprint:
+            print(f"error: {path} re-reads with fingerprint "
+                  f"{reread.fingerprint()}, expected {fingerprint}",
+                  file=sys.stderr)
+            return 1
+        print(f"wrote {path} ({len(reread.events)} events, "
+              f"{path.stat().st_size} bytes)")
+    print(f"fingerprint {fingerprint}")
+    print("update tests/test_golden_trace.py::GOLDEN_FINGERPRINT if it changed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
