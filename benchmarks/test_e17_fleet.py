@@ -1,0 +1,123 @@
+"""E17 — fleet throughput under worker crashes: the recovery bill.
+
+The fault-tolerant fleet's claim is that containment is cheap: killing
+workers mid-campaign costs retries and respawns, not correctness or
+order-of-magnitude throughput.  Quantified over a fixed 48-cell grid:
+
+* **Throughput** — cells/second at 1, 8, and 64 workers, each measured
+  clean and with injected worker crashes (the coordinator SIGKILLs the
+  worker under every 16th cell via the ``chaos_kill_cells`` hook — the
+  same code path a real OOM kill takes).
+* **Recovery overhead** — the chaotic/clean slowdown at 8 workers must
+  stay <= 25%: a killed worker costs one respawn, one cell re-execution,
+  and one bounded backoff, all amortized across the surviving fleet.
+* **Determinism** — every one of the six runs must produce the same
+  canonical report, byte for byte.  Crashes may reshape the schedule;
+  they may not move the evidence.
+
+Host-dependent caveat: at 64 workers on a small host the fork/spawn cost
+dominates a 48-cell grid, so the printed number is the honest pool
+-overhead result, not a scaling claim.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.common import print_table
+from repro.campaign import build_grid, get_plan, run_campaign
+
+PLAN_NAMES = ["calm", "crash", "partition", "jitter"]
+SEEDS = list(range(12))
+WORKER_COUNTS = [1, 8, 64]
+ROUNDS = 3  # best-of, to shave scheduler noise
+CRASH_EVERY = 16  # SIGKILL the worker under every 16th cell
+OVERHEAD_CEILING = 0.25  # chaotic vs clean at 8 workers
+
+
+def _measure(cells, workers: int, kills) -> tuple[float, str, dict]:
+    """Best-of-ROUNDS wall time for one configuration."""
+    best = None
+    canonical = ""
+    fleet: dict = {}
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        report = run_campaign(cells, workers=workers, shrink=False,
+                              chaos_kill_cells=kills, backoff=0.002)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+            fleet = report.fleet
+        canonical = report.canonical_json()
+    return best, canonical, fleet
+
+
+def run_experiment() -> dict:
+    """Six runs: {1, 8, 64} workers x {clean, crashed}."""
+    plans = [(name, get_plan(name)) for name in PLAN_NAMES]
+    cells = build_grid(["echo"], SEEDS, plans)
+    kills = [cell.index for cell in cells if cell.index % CRASH_EVERY == 0]
+
+    rows: dict[tuple[int, bool], dict] = {}
+    reports: list[str] = []
+    for workers in WORKER_COUNTS:
+        for chaotic in (False, True):
+            # workers=1 runs inline: there is no worker to kill, so the
+            # chaotic leg only exists for the multiprocess fleet.
+            injected = kills if (chaotic and workers > 1) else []
+            elapsed, canonical, fleet = _measure(cells, workers, injected)
+            rows[(workers, chaotic)] = {
+                "seconds": elapsed,
+                "cells_per_s": len(cells) / elapsed,
+                "deaths": fleet.get("fleet.worker_deaths", 0),
+                "retries": fleet.get("fleet.retries", 0),
+                "steals": fleet.get("fleet.steals", 0),
+            }
+            reports.append(canonical)
+    return {
+        "cells": len(cells),
+        "kills": len(kills),
+        "rows": rows,
+        "reports": reports,
+    }
+
+
+def test_e17_fleet(benchmark):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rows = result["rows"]
+    print_table(
+        f"E17 fleet throughput under crashes ({result['cells']}-cell "
+        f"grid, {result['kills']} injected kills, host cores: "
+        f"{os.cpu_count()})",
+        ["workers", "crashes", "cells/s", "deaths", "retries", "steals",
+         "overhead"],
+        [
+            [w, "yes" if chaotic else "no",
+             f"{rows[(w, chaotic)]['cells_per_s']:.1f}",
+             rows[(w, chaotic)]["deaths"],
+             rows[(w, chaotic)]["retries"],
+             rows[(w, chaotic)]["steals"],
+             (f"{rows[(w, True)]['seconds'] / rows[(w, False)]['seconds'] - 1:+.1%}"
+              if chaotic and w > 1 else "-")]
+            for w in WORKER_COUNTS for chaotic in (False, True)
+        ],
+    )
+
+    # Determinism: six schedules, one canonical report.
+    assert len(set(result["reports"])) == 1
+
+    # Every injected kill was recovered (retried, never quarantined and
+    # never surfaced as an error verdict).
+    for workers in (8, 64):
+        assert rows[(workers, True)]["deaths"] == result["kills"]
+        assert rows[(workers, True)]["retries"] >= result["kills"]
+
+    # The recovery bill at 8 workers: <= 25% over the clean run.
+    overhead = (rows[(8, True)]["seconds"]
+                / rows[(8, False)]["seconds"]) - 1
+    assert overhead <= OVERHEAD_CEILING, (
+        f"crash recovery cost {overhead:+.1%} at 8 workers "
+        f"(ceiling {OVERHEAD_CEILING:+.0%})"
+    )

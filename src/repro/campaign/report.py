@@ -25,7 +25,9 @@ from pathlib import Path
 from repro.obs.metrics import merge_snapshots
 
 #: Bumped when the canonical report layout changes shape.
-REPORT_VERSION = 1
+#: v2: cells may carry the ``error`` verdict (with an ``error`` object)
+#: and totals grew an ``errored`` count.
+REPORT_VERSION = 2
 
 #: Metrics series worth surfacing in the human summary (the full merged
 #: snapshot is always in the canonical report).
@@ -64,6 +66,12 @@ class CampaignReport:
     shrinks: list = field(default_factory=list)
     workers: int = 1
     wall_seconds: float = 0.0
+    #: Fleet-health counters for this particular run (retries, timeouts,
+    #: worker deaths, steals, resumed cells — see
+    #: :data:`repro.obs.metrics.FLEET_COUNTERS`).  Schedule-dependent by
+    #: nature, so excluded from the canonical document like ``workers``
+    #: and ``wall_seconds``.
+    fleet: dict = field(default_factory=dict)
 
     # -- verdict accessors ---------------------------------------------
 
@@ -76,6 +84,12 @@ class CampaignReport:
     def passed(self) -> list:
         """The passing cell results, in index order."""
         return [c for c in self.cells if c["verdict"] == "pass"]
+
+    @property
+    def errored(self) -> list:
+        """Cells the fleet could not execute to a scenario verdict
+        (contained exceptions, timeouts, quarantined poison cells)."""
+        return [c for c in self.cells if c["verdict"] == "error"]
 
     def merged_metrics(self) -> dict:
         """One fleet-wide snapshot: every cell's metrics, summed."""
@@ -99,6 +113,7 @@ class CampaignReport:
                 "cells": len(self.cells),
                 "passed": len(self.passed),
                 "failed": len(self.failed),
+                "errored": len(self.errored),
                 "events": sum(c["events"] for c in self.cells),
             },
             "metrics": self.merged_metrics(),
@@ -122,12 +137,24 @@ class CampaignReport:
 
     def summary(self) -> str:
         """Render the human-facing campaign summary."""
+        counts = (f"{len(self.passed)} passed, {len(self.failed)} failed")
+        if self.errored:
+            counts += f", {len(self.errored)} errored"
         lines = [
-            f"campaign: {len(self.cells)} cells, "
-            f"{len(self.passed)} passed, {len(self.failed)} failed "
+            f"campaign: {len(self.cells)} cells, {counts} "
             f"({self.workers} worker{'s' if self.workers != 1 else ''}, "
             f"{self.wall_seconds:.2f}s, "
             f"{self.throughput():.1f} cells/s)",
+        ]
+        if self.fleet:
+            shown = ", ".join(
+                f"{name.split('.', 1)[1].replace('_', ' ')} "
+                f"{self.fleet[name]}"
+                for name in sorted(self.fleet)
+                if isinstance(self.fleet[name], int)
+            )
+            lines.append(f"fleet: {shown}")
+        lines += [
             "",
             f"  {'cell':<24} {'verdict':<8} {'events':>8} {'final_time':>12}",
         ]
@@ -143,6 +170,14 @@ class CampaignReport:
             lines.append(f"  FAIL {label}:")
             for violation in cell["violations"]:
                 lines.append(f"    - {violation}")
+        for cell in self.errored:
+            label = _row_label(cell)
+            error = cell.get("error") or {}
+            lines.append("")
+            lines.append(f"  ERROR {label} [{error.get('kind', '?')}]:")
+            detail = str(error.get("detail", "")).rstrip()
+            for line in detail.splitlines()[-6:]:
+                lines.append(f"    {line}")
         if self.shrinks:
             lines.append("")
             lines.append("  shrunk reproducers:")

@@ -66,6 +66,10 @@ class ShrinkResult:
     trace_verdict: Optional[dict] = None
     trace_path: Optional[str] = None
     repro_command: Optional[str] = None
+    #: The recorded minimal golden trace itself — kept on the result so
+    #: callers (the corpus) can persist it without a re-record; not part
+    #: of :meth:`to_dict`.
+    trace: Optional[object] = None
 
     def to_dict(self) -> dict:
         """A JSON-able summary (plans serialized via ``to_dict``)."""
@@ -261,6 +265,7 @@ def shrink_cell(
         reductions=dropped + narrowed + tightened,
         trace_fingerprint=trace.fingerprint(),
         trace_verdict=extract_verdict(trace),
+        trace=trace,
     )
     if out_dir is not None:
         directory = Path(out_dir)

@@ -1,0 +1,43 @@
+"""Crash-safe file persistence shared by traces, journals, and corpora.
+
+Every durable artifact in the reproduction — golden traces, campaign
+checkpoint journals, the reproducer-corpus index — is written with the
+same discipline: serialize the complete document, write it to a
+temporary sibling in the destination directory, then :func:`os.replace`
+it over the target.  ``os.replace`` is atomic on POSIX (and on Windows
+for same-volume moves), so a reader never observes a half-written file:
+an interrupted save leaves either the previous complete version or
+nothing, never a truncated document that a loader would later reject.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def atomic_write_bytes(path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via a temp file + :func:`os.replace`.
+
+    The temp file lives in the destination directory (same filesystem,
+    so the final rename is atomic) and carries the writer's pid so
+    concurrent writers never collide on the scratch name.  On any
+    failure the temp file is removed and the original target is left
+    untouched.
+    """
+    target = os.fspath(path)
+    scratch = f"{target}.tmp{os.getpid()}"
+    try:
+        with open(scratch, "wb") as fh:
+            fh.write(data)
+        os.replace(scratch, target)
+    except BaseException:
+        try:
+            os.unlink(scratch)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path, text: str, encoding: str = "utf-8") -> None:
+    """Text-mode convenience over :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode(encoding))

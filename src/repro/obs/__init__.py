@@ -23,14 +23,22 @@ dormant path until a debugger attaches — exactly the dormant-agent story.
 
 from repro.obs import events
 from repro.obs.bus import Bus
-from repro.obs.metrics import Metrics, install_default_metrics, merge_snapshots
+from repro.obs.metrics import (
+    FLEET_COUNTERS,
+    Metrics,
+    fleet_metrics,
+    install_default_metrics,
+    merge_snapshots,
+)
 from repro.obs.recorder import EventStreamRecorder
 from repro.obs.report import render_report, summary_rows
 
 __all__ = [
     "events",
     "Bus",
+    "FLEET_COUNTERS",
     "Metrics",
+    "fleet_metrics",
     "install_default_metrics",
     "merge_snapshots",
     "EventStreamRecorder",

@@ -272,3 +272,33 @@ def install_default_metrics(bus: Bus, metrics: Metrics) -> None:
     bus.subscribe(ev.RpcStaleRejected, lambda e: stale.inc())
     # Deliberately NOT subscribed: BreakpointHit, ProcessHalted/Resumed,
     # TimerFrozen/Thawed — dormant until a debugger attaches.
+
+
+#: Coordinator-side campaign-fleet counters (see
+#: :mod:`repro.campaign.fleet`).  These describe how a particular run
+#: was *executed* — retries, wall-clock timeouts, worker deaths, work
+#: steals — and are therefore reported next to ``workers`` and
+#: ``wall_seconds``, never inside the canonical (schedule-independent)
+#: campaign report.
+FLEET_COUNTERS = (
+    "fleet.cells_executed",
+    "fleet.cells_resumed",
+    "fleet.retries",
+    "fleet.timeouts",
+    "fleet.worker_deaths",
+    "fleet.steals",
+    "fleet.quarantined",
+)
+
+
+def fleet_metrics() -> Metrics:
+    """A registry with every :data:`FLEET_COUNTERS` series pre-created.
+
+    Pre-registration means a fleet snapshot always carries the full
+    counter set (zeros included), so summaries and tests can read any
+    counter without guarding for its absence.
+    """
+    metrics = Metrics()
+    for name in FLEET_COUNTERS:
+        metrics.counter(name)
+    return metrics

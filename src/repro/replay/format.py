@@ -132,19 +132,27 @@ def _encode_records(trace: "Trace") -> bytes:
 
 
 def write_binary(trace: "Trace", path, compress: bool = True) -> None:
-    """Write ``trace`` to ``path`` in the binary container format."""
+    """Write ``trace`` to ``path`` in the binary container format.
+
+    The container is assembled in memory and published with
+    :func:`repro.ioutil.atomic_write_bytes` (write-temp-then-rename):
+    a crash mid-save leaves any previous trace at ``path`` intact
+    rather than a torn file that fails :func:`read_binary`.
+    """
+    from repro.ioutil import atomic_write_bytes
+
     body = _encode_records(trace)
     flags = FLAG_ZLIB if compress else 0
-    with open(path, "wb") as fh:
-        fh.write(_PREAMBLE.pack(MAGIC, BINARY_VERSION, flags))
-        if not compress:
-            fh.write(body)
-            return
+    parts = [_PREAMBLE.pack(MAGIC, BINARY_VERSION, flags)]
+    if compress:
         for start in range(0, len(body), _FRAME_RAW_SIZE):
             chunk = body[start:start + _FRAME_RAW_SIZE]
             packed = zlib.compress(chunk, 6)
-            fh.write(_FRAME.pack(len(chunk), len(packed)))
-            fh.write(packed)
+            parts.append(_FRAME.pack(len(chunk), len(packed)))
+            parts.append(packed)
+    else:
+        parts.append(body)
+    atomic_write_bytes(path, b"".join(parts))
 
 
 # ----------------------------------------------------------------------

@@ -209,29 +209,33 @@ class Trace:
         Every line is dumped with sorted keys — the same canonical form
         the binary container uses for its JSON blobs — so converting a
         trace binary → jsonl → binary is byte-faithful in both
-        directions.
+        directions.  The document is assembled in memory and published
+        with :func:`repro.ioutil.atomic_write_text`: a crash mid-save
+        leaves any previous trace at ``path`` intact, never a torn one.
         """
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(json.dumps({"kind": "header", **self.header},
-                                sort_keys=True) + "\n")
-            cp_iter = iter(self.checkpoints)
-            next_cp = next(cp_iter, None)
-            # Checkpoint lines are interleaved at their indices, so a
-            # streaming reader sees them in causal order.
-            for event in self.events:
-                while next_cp is not None and next_cp.index <= event.index:
-                    fh.write(json.dumps({"kind": "checkpoint",
+        from repro.ioutil import atomic_write_text
+
+        lines = [json.dumps({"kind": "header", **self.header},
+                            sort_keys=True)]
+        cp_iter = iter(self.checkpoints)
+        next_cp = next(cp_iter, None)
+        # Checkpoint lines are interleaved at their indices, so a
+        # streaming reader sees them in causal order.
+        for event in self.events:
+            while next_cp is not None and next_cp.index <= event.index:
+                lines.append(json.dumps({"kind": "checkpoint",
                                          **next_cp.to_dict()},
-                                        sort_keys=True) + "\n")
-                    next_cp = next(cp_iter, None)
-                fh.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
-            while next_cp is not None:
-                fh.write(json.dumps({"kind": "checkpoint",
-                                     **next_cp.to_dict()},
-                                    sort_keys=True) + "\n")
+                                        sort_keys=True))
                 next_cp = next(cp_iter, None)
-            fh.write(json.dumps({"kind": "footer", **self.footer},
-                                sort_keys=True) + "\n")
+            lines.append(json.dumps(event.to_dict(), sort_keys=True))
+        while next_cp is not None:
+            lines.append(json.dumps({"kind": "checkpoint",
+                                     **next_cp.to_dict()},
+                                    sort_keys=True))
+            next_cp = next(cp_iter, None)
+        lines.append(json.dumps({"kind": "footer", **self.footer},
+                                sort_keys=True))
+        atomic_write_text(path, "\n".join(lines) + "\n")
 
     @classmethod
     def load(cls, path) -> "Trace":

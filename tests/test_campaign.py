@@ -176,6 +176,7 @@ def test_report_save_and_summary(tmp_path):
     report.save(path)
     data = json.loads(path.read_text())
     assert data["totals"] == {"cells": 4, "passed": 2, "failed": 2,
+                              "errored": 0,
                               "events": sum(c["events"] for c in report.cells)}
     assert data["metrics"]["rpc.calls_started"] == 48  # 12 calls x 4 cells
     text = report.summary()

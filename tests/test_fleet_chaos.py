@@ -1,0 +1,45 @@
+"""Chaos smoke for the fleet: SIGKILL workers mid-campaign, byte-check.
+
+Marked ``chaos`` like the soak — excluded from tier-1, run as a
+dedicated CI job — because it sweeps a larger grid under repeated
+worker kills to prove the recovery machinery at scale, not just in the
+single-kill unit tests.
+"""
+
+import pytest
+
+from repro.campaign import build_grid, get_plan, run_campaign
+
+pytestmark = pytest.mark.chaos
+
+
+def test_fleet_report_survives_worker_massacre():
+    """Kill the worker under every fourth cell; the canonical report
+    must not move by a byte and every kill must be recovered."""
+    plans = [(n, get_plan(n)) for n in ("calm", "crash", "partition")]
+    cells = build_grid(["echo"], list(range(8)), plans)
+    clean = run_campaign(cells, workers=1, shrink=False)
+    kills = [cell.index for cell in cells if cell.index % 4 == 0]
+    chaotic = run_campaign(cells, workers=4, shrink=False,
+                           chaos_kill_cells=kills, backoff=0.005)
+    assert chaotic.canonical_json() == clean.canonical_json()
+    assert chaotic.fleet["fleet.worker_deaths"] == len(kills)
+    assert chaotic.fleet["fleet.retries"] == len(kills)
+    assert chaotic.fleet["fleet.quarantined"] == 0
+    assert len(chaotic.errored) == 0
+
+
+def test_fleet_resume_after_chaos_is_byte_identical(tmp_path):
+    """A chaotic, journaled campaign resumed with a different worker
+    count and kill schedule still reports identically."""
+    journal = tmp_path / "campaign.journal"
+    plans = [(n, get_plan(n)) for n in ("calm", "crash")]
+    cells = build_grid(["echo"], list(range(6)), plans)
+    first = run_campaign(cells, workers=3, shrink=False,
+                         journal_path=journal,
+                         chaos_kill_cells=[2, 7], backoff=0.005)
+    resumed = run_campaign(cells, workers=2, shrink=False,
+                           journal_path=journal, resume=True,
+                           chaos_kill_cells=[3], backoff=0.005)
+    assert resumed.canonical_json() == first.canonical_json()
+    assert resumed.fleet["fleet.cells_resumed"] == len(cells)

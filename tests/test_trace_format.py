@@ -168,3 +168,41 @@ def test_truncated_jsonl_still_reports_missing_footer(trace, tmp_path):
     path.write_text("\n".join(lines[:-1]) + "\n")
     with pytest.raises(ValueError, match="missing header/footer"):
         Trace.load(path)
+
+
+# ----------------------------------------------------------------------
+# Atomic saves: an interrupted write never tears an existing trace
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["t.trace.bin", "t.trace.jsonl"],
+                         ids=["binary", "jsonl"])
+def test_save_is_atomic_under_interrupted_replace(trace, tmp_path,
+                                                  monkeypatch, name):
+    import os
+
+    path = tmp_path / name
+    trace.save(path)
+    original = path.read_bytes()
+
+    def torn_replace(src, dst):
+        raise OSError("simulated crash between temp write and rename")
+
+    monkeypatch.setattr(os, "replace", torn_replace)
+    with pytest.raises(OSError, match="simulated crash"):
+        trace.save(path)
+    monkeypatch.undo()
+    # The previous complete trace is untouched and no scratch remains.
+    assert path.read_bytes() == original
+    assert list(tmp_path.glob(f"{name}.tmp*")) == []
+    Trace.load(path)  # and it still loads
+
+
+def test_save_replaces_existing_trace_in_one_step(trace, tmp_path):
+    # A successful re-save lands the new bytes and cleans its scratch.
+    path = tmp_path / "t.trace.bin"
+    trace.save(path)
+    trace.save(path)
+    assert list(tmp_path.glob("*.tmp*")) == []
+    loaded = Trace.load(path)
+    assert loaded.fingerprint() == trace.fingerprint()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""(Re)build the committed reproducer corpus under ``tests/corpus/``.
+
+The committed corpus is the regression half of the campaign loop: a
+small set of shrunken reproducers, found and minimized by a real
+campaign over the shipped scenarios, that CI replays on every push
+(``python -m repro.campaign corpus replay tests/corpus``).  Run this
+from the repo root when a change *intentionally* alters the simulation
+event stream (and say so in the commit message)::
+
+    PYTHONPATH=src python tools/build_corpus.py
+
+The campaign below is deterministic — fixed grid, fixed seeds, inline
+execution — so rebuilding on an unchanged tree is a no-op apart from
+file timestamps.
+"""
+
+import shutil
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+#: The grid distilled into the committed corpus: the two fault families
+#: that fail the echo scenario with *distinct* minimal plans (the storm
+#: preset shrinks to the same lone crash as the crash preset, so adding
+#: it would only churn content-addressed duplicates), two seeds, both
+#: shipped topologies.
+SCENARIOS = ["echo"]
+SEEDS = [0, 7]
+PLAN_NAMES = ["crash", "crash_reboot"]
+TOPOLOGIES = ["ring", "mesh"]
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "tests" / "corpus"
+
+
+def main() -> int:
+    """Run the fixed campaign and bank its reproducers from scratch."""
+    from repro.campaign import Corpus, build_grid, get_plan, run_campaign
+
+    if CORPUS_DIR.exists():
+        shutil.rmtree(CORPUS_DIR)
+    plans = [(name, get_plan(name)) for name in PLAN_NAMES]
+    cells = build_grid(SCENARIOS, SEEDS, plans, topologies=TOPOLOGIES)
+    report = run_campaign(cells, workers=1, shrink=True,
+                          corpus_dir=CORPUS_DIR)
+    corpus = Corpus.open(CORPUS_DIR)
+    print(f"campaign: {len(report.cells)} cells, "
+          f"{len(report.failed)} failed, {len(corpus)} banked")
+    failures = 0
+    for entry, ok, detail in corpus.replay_all():
+        status = "ok" if ok else "FAILED"
+        print(f"  {entry.label():<28} {status}: {detail}")
+        failures += 0 if ok else 1
+    if failures:
+        print(f"error: {failures} fresh reproducers failed replay",
+              file=sys.stderr)
+        return 1
+    print(f"corpus written to {CORPUS_DIR}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
