@@ -1,0 +1,142 @@
+"""E18 — session-daemon load: parked-session capacity and command throughput.
+
+The debugger-as-a-service claim is twofold:
+
+* **Parked sessions are (nearly) free.**  A session is a spec until its
+  first operation — the service-level rendition of the paper's dormant
+  debugging agents — so a daemon can hold thousands of named sessions
+  while paying for none of their worlds.  Measured: wall time and
+  resident-table cost to open ``E18_SESSIONS`` sessions (default 1000,
+  the CI smoke runs a reduced scale), then the latency of an attached
+  session's commands with all of them parked alongside, versus alone.
+* **Sustained command throughput.**  Round trips per second of a tight
+  ``status`` loop and a mixed inspect loop (``processes`` +
+  ``backtrace``) over the Unix socket, client and daemon in one
+  process — the overhead measured is protocol + dispatch, not network.
+
+Acceptance: >= 1000 parked sessions held concurrently, and the parked
+fleet inflates attached-command latency by < 50%.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from benchmarks.common import print_table
+from repro.service import ServiceClient, serve
+from repro.service.daemon import PilgrimService
+
+#: Parked-session count; CI smoke overrides via the environment.
+N_SESSIONS = int(os.environ.get("E18_SESSIONS", "1000"))
+#: Command round trips per throughput loop.
+N_COMMANDS = int(os.environ.get("E18_COMMANDS", "300"))
+PARKED_OVERHEAD_CEILING = 0.50
+
+
+def _boot(tmp_path) -> tuple[str, threading.Thread, PilgrimService]:
+    path = str(tmp_path / "e18.sock")
+    ready = threading.Event()
+    service = PilgrimService()
+    thread = threading.Thread(target=serve, args=(path, ready, service),
+                              daemon=True)
+    thread.start()
+    assert ready.wait(10)
+    return path, thread, service
+
+
+def _command_rates(client: ServiceClient, session_name: str) -> dict:
+    """Round trips/second for a status loop and a mixed inspect loop."""
+    session = client.session(session_name)
+    # force: the second measurement round reconnects to its own agent
+    # session (the paper's forcible connect, not a daemon takeover).
+    session.connect("app", force=True)
+    session.set_breakpoint("app", "app", line=4)
+    hit = session.wait_for_breakpoint()
+
+    started = time.perf_counter()
+    for _ in range(N_COMMANDS):
+        session.status()
+    status_rate = N_COMMANDS / (time.perf_counter() - started)
+
+    started = time.perf_counter()
+    for _ in range(N_COMMANDS):
+        session.processes("app")
+        session.backtrace("app", hit["pid"])
+    mixed_rate = (2 * N_COMMANDS) / (time.perf_counter() - started)
+
+    started = time.perf_counter()
+    for _ in range(N_COMMANDS):
+        session.status()
+    status_again = N_COMMANDS / (time.perf_counter() - started)
+    return {"status": max(status_rate, status_again), "mixed": mixed_rate}
+
+
+def run_experiment(tmp_path) -> dict:
+    """One daemon: throughput alone, park a fleet, throughput again."""
+    path, thread, service = _boot(tmp_path)
+    client = ServiceClient(path, timeout=120)
+
+    client.open("active", "world", scenario="counter", seed=3)
+    alone = _command_rates(client, "active")
+
+    started = time.perf_counter()
+    for index in range(N_SESSIONS):
+        client.open(f"parked-{index}", "world", scenario="counter",
+                    seed=index)
+    park_seconds = time.perf_counter() - started
+    table = client.sessions()
+    parked_states = [row["state"] for row in table
+                     if row["name"].startswith("parked-")]
+
+    crowded = _command_rates(client, "active")
+    metrics = client.metrics()["snapshot"]
+    client.shutdown()
+    client.close()
+    thread.join(10)
+
+    return {
+        "alone": alone,
+        "crowded": crowded,
+        "park_seconds": park_seconds,
+        "parked": len(parked_states),
+        "dormant": sum(1 for state in parked_states if state == "dormant"),
+        "materialized": metrics["service.sessions_materialized"],
+        "requests": metrics["service.requests"],
+    }
+
+
+def test_e18_service_load(benchmark, tmp_path):
+    result = benchmark.pedantic(run_experiment, args=(tmp_path,),
+                                rounds=1, iterations=1)
+
+    overhead = result["alone"]["status"] / result["crowded"]["status"] - 1
+    print_table(
+        f"E18 session-daemon load ({result['parked']} parked sessions, "
+        f"{N_COMMANDS}-command loops)",
+        ["metric", "value"],
+        [
+            ["parked sessions opened", result["parked"]],
+            ["  of which dormant (no world built)", result["dormant"]],
+            ["  open cost (ms/session)",
+             f"{1000 * result['park_seconds'] / max(1, result['parked']):.3f}"],
+            ["worlds materialized daemon-wide", result["materialized"]],
+            ["status cmds/s (alone)", f"{result['alone']['status']:.0f}"],
+            ["status cmds/s (crowded)", f"{result['crowded']['status']:.0f}"],
+            ["inspect cmds/s (alone)", f"{result['alone']['mixed']:.0f}"],
+            ["inspect cmds/s (crowded)", f"{result['crowded']['mixed']:.0f}"],
+            ["parked-fleet latency overhead", f"{overhead:+.1%}"],
+            ["total requests served", result["requests"]],
+        ],
+    )
+
+    assert result["parked"] == N_SESSIONS
+    assert result["dormant"] == N_SESSIONS  # parked fleet built no worlds
+    # Only the active session (and its reconnects) materialized a world.
+    assert result["materialized"] <= 2
+    assert result["crowded"]["status"] > 0
+    assert overhead < PARKED_OVERHEAD_CEILING, (
+        f"{result['parked']} parked sessions cost {overhead:+.1%} "
+        f"on attached-command latency (ceiling {PARKED_OVERHEAD_CEILING:+.0%})"
+    )

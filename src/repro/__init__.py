@@ -28,13 +28,21 @@ minimization).  The full tour lives in ``docs/architecture.md``.
 
 from repro.campaign import CampaignReport, run_grid
 from repro.cluster import Cluster
-from repro.debugger.api import DebuggerSession
-from repro.debugger.pilgrim import (
+from repro.debugger.api import (
+    Breakpoint,
+    DebuggerSession,
+    Frame,
+    ProcessInfo,
+    SessionStatus,
+)
+from repro.debugger.errors import (
     AgentError,
     DebuggerError,
-    Pilgrim,
+    SessionHeldError,
+    SessionTakenError,
     UnreachableNodeError,
 )
+from repro.debugger.pilgrim import Pilgrim
 from repro.faults import FaultPlan, Nemesis
 from repro.params import DEFAULT_PARAMS, Params
 from repro.replay import Trace, record_run, replay_trace
@@ -46,6 +54,12 @@ __all__ = [
     "Cluster",
     "Pilgrim",
     "DebuggerSession",
+    "ProcessInfo",
+    "Breakpoint",
+    "Frame",
+    "SessionStatus",
+    "SessionHeldError",
+    "SessionTakenError",
     "Trace",
     "record_run",
     "replay_trace",

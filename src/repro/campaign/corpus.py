@@ -248,6 +248,37 @@ class Corpus:
         """Replay every entry; the corpus-as-regression-suite primitive."""
         return [(entry, *self.replay(entry)) for entry in self.entries()]
 
+    def find(self, name_or_key: str) -> CorpusEntry:
+        """Look an entry up by key, key prefix, or :meth:`~CorpusEntry.label`.
+
+        Raises ``KeyError`` (with the available labels) when nothing
+        matches, so callers can surface a useful message.
+        """
+        if name_or_key in self._entries:
+            return self._entries[name_or_key]
+        matches = [
+            entry for key, entry in sorted(self._entries.items())
+            if key.startswith(name_or_key) or entry.label() == name_or_key
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        labels = ", ".join(e.label() for e in self.entries()) or "<empty>"
+        kind = "ambiguous" if matches else "unknown"
+        raise KeyError(f"{kind} corpus entry {name_or_key!r}; have: {labels}")
+
+    def open_session(self, name_or_key: str):
+        """Open a post-mortem debugger session on one reproducer.
+
+        Returns a :class:`~repro.replay.session.TraceSession` over the
+        entry's golden trace — the bridge the service daemon uses for
+        ``kind="corpus"`` sessions: every shrunken failure in the corpus
+        is debuggable by name, without re-running anything.
+        """
+        from repro.replay.session import TraceSession
+
+        entry = self.find(name_or_key)
+        return TraceSession(self.root / entry.trace, name=entry.label())
+
     # -- grid seeding ---------------------------------------------------
 
     def cells(self, start_index: int = 0) -> list:

@@ -2,28 +2,56 @@
 cross-node backtraces, typed display, and the breakpoint log behind
 convert_debuggee_time.
 
-:class:`DebuggerSession` is the unified protocol both this simulated
-debugger and :class:`repro.live.debugger.LiveDebugger` implement.
+:class:`DebuggerSession` is the unified protocol implemented by this
+simulated debugger, :class:`repro.live.debugger.LiveDebugger`, and the
+:class:`repro.service.client.RemoteSession` daemon client; the typed
+request/response records (:class:`ProcessInfo`, :class:`Breakpoint`,
+:class:`Frame`, :class:`SessionStatus`) double as the service's wire
+schema, and every failure derives from the :mod:`repro.debugger.errors`
+hierarchy with stable machine-readable codes.
 """
 
-from repro.debugger.api import DebuggerSession
-from repro.debugger.pilgrim import (
-    PILGRIM_TIME_SERVICE,
-    AgentError,
+from repro.debugger.api import (
     Breakpoint,
-    DebuggerError,
-    Pilgrim,
-    UnreachableNodeError,
+    DebuggerSession,
+    Frame,
+    ProcessInfo,
+    SessionStatus,
+    TraceSummary,
 )
+from repro.debugger.errors import (
+    AgentError,
+    BadSessionError,
+    DebuggerError,
+    RequestTimeoutError,
+    ServiceError,
+    SessionHeldError,
+    SessionTakenError,
+    UnreachableNodeError,
+    UnsupportedOperationError,
+    error_from_wire,
+)
+from repro.debugger.pilgrim import PILGRIM_TIME_SERVICE, Pilgrim
 from repro.debugger.timelog import BreakpointLog
 
 __all__ = [
     "PILGRIM_TIME_SERVICE",
     "AgentError",
+    "BadSessionError",
     "Breakpoint",
+    "BreakpointLog",
     "DebuggerError",
     "DebuggerSession",
-    "UnreachableNodeError",
+    "Frame",
     "Pilgrim",
-    "BreakpointLog",
+    "ProcessInfo",
+    "RequestTimeoutError",
+    "ServiceError",
+    "SessionHeldError",
+    "SessionStatus",
+    "SessionTakenError",
+    "TraceSummary",
+    "UnreachableNodeError",
+    "UnsupportedOperationError",
+    "error_from_wire",
 ]

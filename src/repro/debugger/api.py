@@ -1,13 +1,23 @@
-"""The unified debugger session API.
+"""The unified debugger session API: typed records + the session protocol.
 
 Two debugger frontends grew side by side — the simulated
 :class:`~repro.debugger.pilgrim.Pilgrim` and the out-of-process
-:class:`~repro.live.debugger.LiveDebugger` — with diverging names for
-the same operations (``processes()`` vs ``threads()``, ``break_at()``
-vs ``set_breakpoint()``).  :class:`DebuggerSession` is the one protocol
-both implement; scripts written against it run against either backend.
+:class:`~repro.live.debugger.LiveDebugger` — and a third joined them:
+the :class:`~repro.service.client.RemoteSession` proxy that speaks the
+session daemon's wire protocol.  :class:`DebuggerSession` is the one
+protocol all three implement; scripts written against it run against
+any backend, local or remote.
 
-Canonical names:
+The request/response payloads are small **frozen dataclasses**
+(:class:`ProcessInfo`, :class:`Breakpoint`, :class:`Frame`,
+:class:`SessionStatus`) that double as the wire schema: one definition
+serves the in-process backends, the REPL formatter, and the service's
+JSON serialization (``to_dict`` / ``from_dict``).  For compatibility
+with the dict-shaped payloads of earlier releases, every record also
+supports read-only mapping access (``frame["line"]``), including the
+live backend's historical key spellings (``frame["func"]``).
+
+Canonical operation names:
 
 ==================  ============================================
 ``connect``         open a session with the target(s)
@@ -22,60 +32,237 @@ Canonical names:
 ``read_var``        read a variable in some frame
 ``status``          session/debuggee status summary
 ==================  ============================================
-
-The old names (``break_at``, ``clear``, ``threads``) survived one
-release as deprecation-warning aliases and are now gone; only the
-canonical names above exist.
 """
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from dataclasses import dataclass, field, fields
+from typing import Any, ClassVar, Iterator, Optional, Protocol, Union, runtime_checkable
+
+#: How backends address a node: by id or by name (``None`` on backends
+#: with a single implicit target, like the live debugger).
+NodeRef = Union[int, str, None]
+
+
+class Record:
+    """Mixin for the frozen wire records: dict round-trip + mapping reads.
+
+    ``to_dict``/``from_dict`` are the JSON wire schema; ``__getitem__``
+    and ``get`` provide read-only mapping access so the dict-shaped
+    call sites of earlier releases keep working unchanged.  Subclasses
+    may declare ``_aliases`` mapping historical key spellings onto
+    field names (the live backend called a frame's procedure ``func``).
+    """
+
+    _aliases: ClassVar[dict] = {}
+
+    def to_dict(self) -> dict:
+        """Serialize to the plain-JSON wire shape."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict):
+        """Rebuild from :meth:`to_dict` output (unknown keys ignored)."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def __getitem__(self, key: str):
+        try:
+            return getattr(self, self._aliases.get(key, key))
+        except AttributeError:
+            raise KeyError(key) from None
+
+    def get(self, key: str, default=None):
+        """Mapping-style read with a default."""
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def items(self) -> Iterator[tuple]:
+        """Iterate (field, value) pairs in declaration order."""
+        for f in fields(self):
+            yield f.name, getattr(self, f.name)
+
+
+@dataclass(frozen=True)
+class ProcessInfo(Record):
+    """One debuggable process (sim) or thread (live)."""
+
+    pid: int
+    name: str
+    state: str
+    priority: int = 0
+    halt_exempt: bool = False
+    waiting_on: Optional[str] = None
+    #: Register snapshot — populated by ``process_state``, not listings.
+    registers: Optional[dict] = None
+    #: (module, func, pc) if stopped at a trap.
+    trapped_at: Optional[tuple] = None
+
+    #: The live backend's historical spellings.
+    _aliases: ClassVar[dict] = {"ident": "pid", "thread": "pid"}
+
+    @property
+    def alive(self) -> bool:
+        """Whether the process/thread is still live."""
+        return self.state not in ("dead", "failed")
+
+
+@dataclass(frozen=True)
+class Breakpoint(Record):
+    """A source-level breakpoint the debugger planted."""
+
+    node: int
+    module: str
+    func: str
+    pc: int
+    line: int
+
+    def key(self) -> tuple:
+        """Identity tuple used to deduplicate/clear breakpoints."""
+        return (self.node, self.module, self.func, self.pc)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Breakpoint node={self.node} {self.module}.{self.func}"
+            f"@{self.pc} line {self.line}>"
+        )
+
+
+@dataclass(frozen=True)
+class Frame(Record):
+    """One stack frame of a backtrace (possibly synthetic, possibly remote).
+
+    ``node``/``pid`` are filled in by distributed backtraces; synthetic
+    frames represent the RPC runtime (``info_block`` names the call) or
+    an unreachable hop (``unreachable`` + ``error``).
+    """
+
+    module: str = ""
+    proc: str = ""
+    line: int = 0
+    pc: int = 0
+    locals: dict = field(default_factory=dict)
+    synthetic: bool = False
+    info_block: Optional[dict] = None
+    node: Optional[int] = None
+    pid: Optional[int] = None
+    unreachable: bool = False
+    error: Optional[str] = None
+    well_formed: bool = True
+
+    #: The live backend's historical spellings.
+    _aliases: ClassVar[dict] = {"func": "proc", "file": "module", "thread": "pid"}
+
+
+@dataclass(frozen=True)
+class SessionStatus(Record):
+    """Session/debuggee status summary, uniform across backends.
+
+    ``mode`` identifies the backend (``sim`` / ``live`` / ``replay`` /
+    ``remote``); backend-specific readings (reachability maps, live
+    clock deltas) ride in ``extra`` and stay reachable through mapping
+    access (``status["delta"]``).
+    """
+
+    mode: str
+    session: Optional[int] = None
+    connected: list = field(default_factory=list)
+    breakpoints: int = 0
+    halted: Optional[bool] = None
+    time: Optional[int] = None
+    recording: bool = False
+    trace_loaded: bool = False
+    extra: dict = field(default_factory=dict)
+
+    def __getitem__(self, key: str):
+        try:
+            return super().__getitem__(key)
+        except KeyError:
+            if key in self.extra:
+                return self.extra[key]
+            raise KeyError(key) from None
+
+    def items(self) -> Iterator[tuple]:
+        """Named fields (minus unset optionals and ``extra``), then extras."""
+        for f in fields(self):
+            if f.name == "extra":
+                continue
+            value = getattr(self, f.name)
+            if value is None and f.name in ("halted", "time", "session"):
+                continue
+            yield f.name, value
+        yield from self.extra.items()
+
+
+@dataclass(frozen=True)
+class TraceSummary(Record):
+    """What ``stop_recording`` reports over the wire: trace dimensions."""
+
+    n_events: int
+    n_checkpoints: int
 
 
 @runtime_checkable
 class DebuggerSession(Protocol):
     """What every Pilgrim debugger frontend exposes.
 
-    Signatures stay loose on purpose: the sim backend addresses
-    processes as ``(node, pid)`` and breakpoints as ``(node, module,
-    line)``, the live backend as ``(thread,)`` and ``(file, line)`` —
-    the *operations* and their names are what the protocol pins down.
-    ``isinstance(obj, DebuggerSession)`` checks structurally.
+    The signatures are typed over the wire records above.  Backends
+    differ only in *addressing*: the sim backend names targets as
+    ``(node, pid)`` and breakpoints as ``(node, module, line)``; the
+    live backend has one implicit target, so its ``node`` arguments
+    accept ``None``.  ``isinstance(obj, DebuggerSession)`` checks
+    structurally.
     """
 
-    def connect(self, *args, **kwargs):
-        """Open a session with the target node(s)/process."""
+    def connect(self, *targets: Union[int, str], force: bool = False):
+        """Open a session with the target node(s)/process.
 
-    def disconnect(self, *args, **kwargs):
+        A second ``connect`` while another session holds the target is
+        refused unless ``force=True``, which abandons the holder (the
+        paper's forcible-connect semantics).
+        """
+
+    def disconnect(self) -> None:
         """End the session; the debuggee keeps running."""
 
-    def processes(self, *args, **kwargs):
+    def processes(self, node: NodeRef = None) -> list[ProcessInfo]:
         """List debuggable processes/threads."""
 
-    def set_breakpoint(self, *args, **kwargs):
+    def set_breakpoint(
+        self,
+        node: NodeRef = None,
+        module: str = "",
+        line: Optional[int] = None,
+        func: Optional[str] = None,
+        pc: Optional[int] = None,
+    ) -> Breakpoint:
         """Plant a breakpoint at source coordinates."""
 
-    def clear_breakpoint(self, *args, **kwargs):
+    def clear_breakpoint(self, bp: Breakpoint) -> None:
         """Remove a previously set breakpoint."""
 
-    def wait_for_breakpoint(self, *args, **kwargs):
+    def wait_for_breakpoint(self, timeout: Optional[int] = None) -> dict:
         """Block until a breakpoint is hit (or time out)."""
 
-    def halt(self, *args, **kwargs):
+    def halt(self, node: NodeRef = None):
         """Stop the whole program."""
 
-    def resume(self, *args, **kwargs):
+    def resume(self, node: NodeRef = None):
         """Continue the whole program."""
 
-    def step(self, *args, **kwargs):
+    def step(self, node: NodeRef = None, pid: Optional[int] = None) -> dict:
         """Single-step one trapped process."""
 
-    def backtrace(self, *args, **kwargs):
+    def backtrace(self, node: NodeRef = None, pid: Optional[int] = None) -> list[Frame]:
         """Stack frames of one process."""
 
-    def read_var(self, *args, **kwargs):
+    def read_var(
+        self, node: NodeRef = None, pid: Optional[int] = None,
+        name: str = "", frame: int = 0,
+    ) -> Any:
         """Read a variable in some frame."""
 
-    def status(self, *args, **kwargs):
+    def status(self) -> SessionStatus:
         """Session/debuggee status summary."""

@@ -21,6 +21,12 @@ from typing import TYPE_CHECKING, Any, Optional, Union
 
 from repro.agent import requests as rq
 from repro.cvm.image import Program
+from repro.debugger.api import Breakpoint, Frame, ProcessInfo, SessionStatus
+from repro.debugger.errors import (
+    AgentError,
+    DebuggerError,
+    UnreachableNodeError,
+)
 from repro.debugger.timelog import BreakpointLog
 from repro.rpc.marshal import MarshalError, marshal, unmarshal
 from repro.sim.units import SEC
@@ -31,63 +37,14 @@ if TYPE_CHECKING:
 #: RPC service exported by the debugger for shared servers (paper §6.1).
 PILGRIM_TIME_SERVICE = "_pilgrim"
 
-_session_counter = itertools.count(1)
-
-
-class DebuggerError(Exception):
-    """A debugger-side failure (timeout, protocol error).
-
-    Where the failure concerns a particular node, the exception carries
-    the node's name and address, the debugger's reachability verdict
-    (``up`` / ``suspect`` / ``down``), and the per-attempt retry history
-    (send time, timeout, backoff) so recovery code and error reports
-    need not reconstruct them.
-    """
-
-    def __init__(
-        self,
-        message: str,
-        node: Optional[str] = None,
-        address: Optional[int] = None,
-        state: Optional[str] = None,
-        attempts: Optional[list] = None,
-    ):
-        super().__init__(message)
-        self.node = node
-        self.address = address
-        self.state = state
-        self.attempts = attempts if attempts is not None else []
-
-
-class AgentError(DebuggerError):
-    """The agent rejected a request."""
-
-
-class UnreachableNodeError(DebuggerError):
-    """Every retry of a request timed out: the node is declared down.
-
-    The node may be crashed, rebooting, or partitioned away; the session
-    survives — other nodes remain debuggable and the node can be
-    re-adopted with :meth:`Pilgrim.reattach` once it answers again.
-    """
-
-
-class Breakpoint:
-    """A source-level breakpoint the debugger planted."""
-
-    def __init__(self, node: int, module: str, func: str, pc: int, line: int):
-        self.node = node
-        self.module = module
-        self.func = func
-        self.pc = pc
-        self.line = line
-
-    def key(self) -> tuple:
-        """Identity tuple used to deduplicate/clear breakpoints."""
-        return (self.node, self.module, self.func, self.pc)
-
-    def __repr__(self) -> str:
-        return f"<Breakpoint node={self.node} {self.module}.{self.func}@{self.pc} line {self.line}>"
+__all__ = [
+    "PILGRIM_TIME_SERVICE",
+    "AgentError",
+    "Breakpoint",
+    "DebuggerError",
+    "Pilgrim",
+    "UnreachableNodeError",
+]
 
 
 def _decode(value: Any) -> Any:
@@ -107,6 +64,10 @@ class Pilgrim:
         self.cluster = cluster
         self.world = cluster.world
         self.home = cluster.node(home)
+        #: Session ids are unique but guessable (a counter), as in the
+        #: paper.  Per-instance, so runs are deterministic regardless of
+        #: how many debuggers the process has created before.
+        self._session_counter = itertools.count(1)
         self.session_id = 0
         self.connected_nodes: list[int] = []
         #: Reachability verdict per node address: ``up`` after any reply
@@ -259,7 +220,7 @@ class Pilgrim:
         """
         if not nodes:
             raise DebuggerError("connect() needs at least one node")
-        self.session_id = next(_session_counter)
+        self.session_id = next(self._session_counter)
         infos = {}
         addresses = [self.cluster.node(n).node_id for n in nodes]
         for node in nodes:
@@ -459,9 +420,12 @@ class Pilgrim:
     # Inspection
     # ------------------------------------------------------------------
 
-    def processes(self, node: Union[int, str]) -> list[dict]:
+    def processes(self, node: Union[int, str, None] = None) -> list[ProcessInfo]:
         """The process table of one node."""
-        return self._request(node, rq.LIST_PROCESSES)
+        return [
+            ProcessInfo.from_dict(info)
+            for info in self._request(node, rq.LIST_PROCESSES)
+        ]
 
     def all_processes(self) -> dict:
         """Process tables of every connected node, degrading gracefully.
@@ -474,7 +438,10 @@ class Pilgrim:
         unreachable: list[dict] = []
         for address in list(self.connected_nodes):
             try:
-                tables[address] = self._request(address, rq.LIST_PROCESSES)
+                tables[address] = [
+                    ProcessInfo.from_dict(info)
+                    for info in self._request(address, rq.LIST_PROCESSES)
+                ]
             except UnreachableNodeError as exc:
                 unreachable.append({
                     "node": exc.node,
@@ -483,22 +450,35 @@ class Pilgrim:
                 })
         return {"nodes": tables, "unreachable": unreachable}
 
-    def process_state(self, node: Union[int, str], pid: int) -> dict:
+    def process_state(self, node: Union[int, str, None] = None,
+                      pid: Optional[int] = None) -> ProcessInfo:
         """Registers and scheduler state of one process."""
-        return self._request(node, rq.PROCESS_STATE, {"pid": pid})
+        info = self._request(node, rq.PROCESS_STATE, {"pid": pid})
+        if info.get("trapped_at") is not None:
+            info["trapped_at"] = tuple(info["trapped_at"])
+        return ProcessInfo.from_dict(info)
 
-    def backtrace(self, node: Union[int, str], pid: int) -> list[dict]:
+    def _frame(self, raw: dict, node: int, pid: Optional[int]) -> Frame:
+        """Typed frame from an agent snapshot, locals decoded."""
+        data = dict(raw)
+        data["locals"] = {
+            name: _decode(value)
+            for name, value in raw.get("locals", {}).items()
+        }
+        data.setdefault("node", node)
+        data.setdefault("pid", pid)
+        return Frame.from_dict(data)
+
+    def backtrace(self, node: Union[int, str, None] = None,
+                  pid: Optional[int] = None) -> list[Frame]:
         """Stack frames of one process, locals decoded."""
+        address = self.cluster.node(node).node_id
         frames = self._request(node, rq.BACKTRACE, {"pid": pid})
-        for frame in frames:
-            frame["locals"] = {
-                name: _decode(value) for name, value in frame["locals"].items()
-            }
-        return frames
+        return [self._frame(raw, address, pid) for raw in frames]
 
     def distributed_backtrace(
         self, node: Union[int, str], pid: int, max_hops: int = 8
-    ) -> list[dict]:
+    ) -> list[Frame]:
         """A stack backtrace that crosses node boundaries (paper §4.1).
 
         Client frames end at the RPC runtime frame whose info block names
@@ -506,7 +486,7 @@ class Pilgrim:
         reports the worker process handling that call id, and the walk
         continues there.
         """
-        result: list[dict] = []
+        result: list[Frame] = []
         current_node = self.cluster.node(node).node_id
         current_pid = pid
         visited = set()
@@ -525,17 +505,11 @@ class Pilgrim:
                 # Partial result: the walk reached a dead/partitioned
                 # node.  Mark where it stopped instead of losing the
                 # frames already gathered.
-                result.append({
-                    "synthetic": True,
-                    "node": current_node,
-                    "pid": current_pid,
-                    "unreachable": True,
-                    "error": str(exc),
-                })
+                result.append(Frame(
+                    synthetic=True, node=current_node, pid=current_pid,
+                    unreachable=True, error=str(exc),
+                ))
                 break
-            for frame in frames:
-                frame["node"] = current_node
-                frame["pid"] = current_pid
             result.extend(frames)
             # An in-progress *outgoing* call appears as the top synthetic
             # frame (paper Figure 1); follow it to the server.  The
@@ -543,8 +517,8 @@ class Pilgrim:
             # not forwards, and is not followed.
             info = None
             for frame in frames:
-                if frame.get("synthetic") and frame.get("info_block"):
-                    block = frame["info_block"]
+                if frame.synthetic and frame.info_block:
+                    block = frame.info_block
                     if block.get("state") in in_progress_states:
                         info = block
                         break
@@ -559,13 +533,10 @@ class Pilgrim:
                     server_addr, rq.RPC_SERVER_RECORD, {"call_id": info["call_id"]}
                 )
             except UnreachableNodeError as exc:
-                result.append({
-                    "synthetic": True,
-                    "node": server_addr,
-                    "pid": None,
-                    "unreachable": True,
-                    "error": str(exc),
-                })
+                result.append(Frame(
+                    synthetic=True, node=server_addr, pid=None,
+                    unreachable=True, error=str(exc),
+                ))
                 break
             if record is None or record.get("worker_pid") is None:
                 break
@@ -684,19 +655,35 @@ class Pilgrim:
     # Session status (the sim half of the unified DebuggerSession API)
     # ------------------------------------------------------------------
 
-    def status(self) -> dict:
+    def status(self) -> SessionStatus:
         """A local summary of the session — no network round trips."""
-        return {
-            "mode": "sim",
-            "session": self.session_id,
-            "connected": list(self.connected_nodes),
-            "reachability": dict(self.reachability),
-            "epochs": dict(self.node_epochs),
-            "breakpoints": len(self.breakpoints),
-            "time": self.world.now,
-            "recording": self._trace_writer is not None,
-            "trace_loaded": self._timetravel is not None,
-        }
+        return SessionStatus(
+            mode="sim",
+            session=self.session_id,
+            connected=list(self.connected_nodes),
+            breakpoints=len(self.breakpoints),
+            time=self.world.now,
+            recording=self._trace_writer is not None,
+            trace_loaded=self._timetravel is not None,
+            extra={
+                "reachability": dict(self.reachability),
+                "epochs": dict(self.node_epochs),
+            },
+        )
+
+    def clocks(self) -> list[dict]:
+        """Per-connected-node clock readings (real, logical, delta)."""
+        rows = []
+        for address in self.connected_nodes:
+            node = self.cluster.node(address)
+            rows.append({
+                "address": address,
+                "name": node.name,
+                "real": node.clock.real_now(),
+                "logical": node.clock.logical_now(),
+                "delta": node.clock.current_delta(),
+            })
+        return rows
 
     # ------------------------------------------------------------------
     # Record / replay and time travel (see repro.replay)
@@ -763,8 +750,13 @@ class Pilgrim:
         """Time-travel: step the cursor one event forwards."""
         return self._travel().step()
 
-    def why_halted(self, node: Optional[int] = None) -> dict:
-        """Time-travel: explain the halt state at the cursor."""
+    def why_halted(self, node: Union[int, str, None] = None) -> dict:
+        """Time-travel: explain the halt state at the cursor.
+
+        ``node`` may be an address or a node name (resolved locally).
+        """
+        if isinstance(node, str):
+            node = self.cluster.node(node).node_id
         return self._travel().why_halted(node)
 
     def causal_predecessors(self, index: int):

@@ -21,7 +21,9 @@ import shlex
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.debugger.pilgrim import AgentError, Breakpoint, DebuggerError, Pilgrim
+from repro.debugger.api import Breakpoint, Frame, ProcessInfo, SessionStatus
+from repro.debugger.errors import AgentError, DebuggerError
+from repro.debugger.pilgrim import Pilgrim
 from repro.sim.units import MS, SEC
 
 
@@ -51,32 +53,43 @@ def parse_value(text: str):
 
 @dataclass(frozen=True)
 class Command:
-    """One REPL command: its name, example usage, and one-line summary."""
+    """One REPL command: its name, example usage, and one-line summary.
+
+    ``op`` names the :class:`~repro.debugger.api.DebuggerSession`
+    operation the command fronts — it is the command's *wire method
+    name* in the session daemon's protocol (:mod:`repro.service`), so
+    the REPL's ``help`` and the daemon's method list are two renderings
+    of this one registry and can never drift apart.  Client-side-only
+    commands (``help``, ``quit``) have ``op=None``.
+    """
 
     name: str
     usage: str
     summary: str
     handler_name: str
+    op: Optional[str] = None
 
 
 #: Registry of every REPL command, in declaration order — the single
-#: source of truth for both dispatch and the generated ``help`` text.
+#: source of truth for REPL dispatch, the generated ``help`` text, and
+#: the service wire protocol's per-session method names.
 COMMANDS: dict[str, Command] = {}
 
 
-def _command(usage: str) -> Callable:
+def _command(usage: str, op: Optional[str] = None) -> Callable:
     """Register a ``cmd_*`` method as a REPL command.
 
     ``usage`` is the example invocation shown by ``help``; the summary
     is the first line of the handler's docstring, so documenting the
-    handler *is* documenting the command.
+    handler *is* documenting the command.  ``op`` is the session-API
+    operation the command fronts (the wire method name).
     """
     def register(method: Callable) -> Callable:
         name = method.__name__.removeprefix("cmd_")
         summary = (method.__doc__ or "").strip().splitlines()[0]
         COMMANDS[name] = Command(
             name=name, usage=usage, summary=summary,
-            handler_name=method.__name__,
+            handler_name=method.__name__, op=op,
         )
         return method
     return register
@@ -91,8 +104,80 @@ def help_text() -> str:
     )
 
 
+# ----------------------------------------------------------------------
+# Plain-text renderers, shared by the REPL and the service daemon so the
+# two always produce byte-identical renderings of the typed records.
+# ----------------------------------------------------------------------
+
+
+def format_process(info: ProcessInfo) -> str:
+    """One ``ps`` table row."""
+    waiting = f"  waiting on {info.waiting_on}" if info.waiting_on else ""
+    exempt = "  [halt-exempt]" if info.halt_exempt else ""
+    return (
+        f"  pid {info.pid:<4} {info.name:<20} "
+        f"{info.state:<8}{waiting}{exempt}"
+    )
+
+
+def format_frames(frames: list[Frame], show_node: bool = False) -> list[str]:
+    """Backtrace lines (synthetic RPC-runtime frames included)."""
+    lines = []
+    for i, frame in enumerate(frames):
+        where = f"[node {frame.node}] " if show_node else ""
+        info = frame.info_block
+        if frame.synthetic and info:
+            lines.append(
+                f"  #{i} {where}<rpc runtime> call #{info.get('call_id')} "
+                f"{info.get('remote_proc')} [{info.get('state', 'serving')}]"
+            )
+            continue
+        if frame.unreachable:
+            lines.append(
+                f"  #{i} {where}<unreachable node {frame.node}>: {frame.error}"
+            )
+            continue
+        local_names = ", ".join(sorted(frame.locals)) or "-"
+        lines.append(
+            f"  #{i} {where}{frame.module}.{frame.proc} "
+            f"line {frame.line}  locals: {local_names}"
+        )
+    return lines
+
+
+def format_status(status: SessionStatus) -> list[str]:
+    """``status`` listing: one ``key: value`` row per field."""
+    return [f"  {key}: {value}" for key, value in status.items()]
+
+
+def format_moment(moment) -> list[str]:
+    """Time-travel cursor summary (shared with the daemon)."""
+    view = moment.view
+    lines = []
+    if moment.event is not None:
+        lines.append(f"  @#{moment.index - 1} {moment.event.line}")
+    else:
+        lines.append(f"  @#{moment.index} (before first event)")
+    lines.append(f"  t={view.time}us")
+    for node in sorted(view.halted):
+        if view.halted[node]:
+            lines.append(f"  node {node} halted (pids {view.halted[node]})")
+    for node in sorted(view.in_flight):
+        if view.in_flight[node]:
+            lines.append(f"  node {node} rpc in flight: {view.in_flight[node]}")
+    counts = ", ".join(f"{k}={v}" for k, v in sorted(view.counts.items()) if v)
+    lines.append(f"  counts: {counts or '-'}")
+    return lines
+
+
 class PilgrimRepl:
-    """Command dispatcher; ``output`` collects printed lines."""
+    """Command dispatcher; ``output`` collects printed lines.
+
+    ``pilgrim`` is any sim-flavored :class:`DebuggerSession` backend —
+    an in-process :class:`~repro.debugger.pilgrim.Pilgrim` or a
+    :class:`~repro.service.client.RemoteSession` speaking to the
+    daemon; the REPL renders byte-identical output against either.
+    """
 
     def __init__(self, pilgrim: Pilgrim, output: Optional[Callable[[str], None]] = None):
         self.dbg = pilgrim
@@ -142,7 +227,7 @@ class PilgrimRepl:
     # Commands
     # ------------------------------------------------------------------
 
-    @_command("connect app server")
+    @_command("connect app server", op="connect")
     def cmd_connect(self, args, force=False):
         """attach to nodes (force with 'connect! ...')"""
         infos = self.dbg.connect(*args, force=force)
@@ -155,24 +240,19 @@ class PilgrimRepl:
             )
         self.emit(f"session {self.dbg.session_id}")
 
-    @_command("disconnect")
+    @_command("disconnect", op="disconnect")
     def cmd_disconnect(self, args, force=False):
         """end the session"""
         self.dbg.disconnect()
         self.emit("disconnected; program continues")
 
-    @_command("ps app")
+    @_command("ps app", op="processes")
     def cmd_ps(self, args, force=False):
         """list processes on a node"""
         for info in self.dbg.processes(args[0]):
-            waiting = f"  waiting on {info['waiting_on']}" if info["waiting_on"] else ""
-            exempt = "  [halt-exempt]" if info["halt_exempt"] else ""
-            self.emit(
-                f"  pid {info['pid']:<4} {info['name']:<20} "
-                f"{info['state']:<8}{waiting}{exempt}"
-            )
+            self.emit(format_process(info))
 
-    @_command("break app app 17")
+    @_command("break app app 17", op="set_breakpoint")
     def cmd_break(self, args, force=False):
         """set a breakpoint (node module line)"""
         node, module, line = args[0], args[1], int(args[2])
@@ -184,7 +264,7 @@ class PilgrimRepl:
             f"line {bp.line} (pc {bp.pc}) on node {node}"
         )
 
-    @_command("clear 1")
+    @_command("clear 1", op="clear_breakpoint")
     def cmd_clear(self, args, force=False):
         """clear breakpoint #1"""
         number = int(args[0])
@@ -192,14 +272,14 @@ class PilgrimRepl:
         self.dbg.clear_breakpoint(bp)
         self.emit(f"cleared breakpoint #{number}")
 
-    @_command("run 100ms")
+    @_command("run 100ms", op="run_for")
     def cmd_run(self, args, force=False):
         """let the program run for a while"""
         duration = parse_duration(args[0]) if args else 100 * MS
         self.dbg.run_for(duration)
         self.emit(f"ran for {args[0] if args else '100ms'}")
 
-    @_command("wait")
+    @_command("wait", op="wait_for_event")
     def cmd_wait(self, args, force=False):
         """wait for the next breakpoint/failure event"""
         timeout = parse_duration(args[0]) if args else 30 * SEC
@@ -218,13 +298,13 @@ class PilgrimRepl:
         else:
             self.emit(f"* event: {event['event']} {data}")
 
-    @_command("bt app 3")
+    @_command("bt app 3", op="backtrace")
     def cmd_bt(self, args, force=False):
         """backtrace of pid 3 on node app"""
         node, pid = args[0], int(args[1])
         self._print_frames(self.dbg.backtrace(node, pid))
 
-    @_command("dbt app 3")
+    @_command("dbt app 3", op="distributed_backtrace")
     def cmd_dbt(self, args, force=False):
         """distributed backtrace (follows RPCs)"""
         node, pid = args[0], int(args[1])
@@ -232,22 +312,10 @@ class PilgrimRepl:
         self._print_frames(frames, show_node=True)
 
     def _print_frames(self, frames, show_node=False):
-        for i, frame in enumerate(frames):
-            where = f"[node {frame['node']}] " if show_node else ""
-            info = frame.get("info_block")
-            if frame.get("synthetic") and info:
-                self.emit(
-                    f"  #{i} {where}<rpc runtime> call #{info.get('call_id')} "
-                    f"{info.get('remote_proc')} [{info.get('state', 'serving')}]"
-                )
-                continue
-            local_names = ", ".join(sorted(frame["locals"])) or "-"
-            self.emit(
-                f"  #{i} {where}{frame['module']}.{frame['proc']} "
-                f"line {frame['line']}  locals: {local_names}"
-            )
+        for line in format_frames(frames, show_node=show_node):
+            self.emit(line)
 
-    @_command("print app 3 x")
+    @_command("print app 3 x", op="display")
     def cmd_print(self, args, force=False):
         """show a variable via its print operation"""
         node, pid, name = args[0], int(args[1]), args[2]
@@ -255,14 +323,14 @@ class PilgrimRepl:
         text = self.dbg.display(node, pid, name, frame=frame)
         self.emit(f"  {name} = {text}")
 
-    @_command("set app 3 x 42")
+    @_command("set app 3 x 42", op="write_var")
     def cmd_set(self, args, force=False):
         """write a variable (ints/strings)"""
         node, pid, name, value = args[0], int(args[1]), args[2], parse_value(args[3])
         self.dbg.write_var(node, pid, name, value)
         self.emit(f"  {name} := {value}")
 
-    @_command("step app 3")
+    @_command("step app 3", op="step")
     def cmd_step(self, args, force=False):
         """single-step a trapped process"""
         node, pid = args[0], int(args[1])
@@ -273,19 +341,19 @@ class PilgrimRepl:
             f"pc {regs.get('pc')}"
         )
 
-    @_command("continue app")
+    @_command("continue app", op="resume")
     def cmd_continue(self, args, force=False):
         """resume from the breakpoint"""
         self.dbg.resume(args[0])
         self.emit("continuing")
 
-    @_command("halt app")
+    @_command("halt app", op="halt")
     def cmd_halt(self, args, force=False):
         """halt the whole program"""
         self.dbg.halt(args[0])
         self.emit("program halted")
 
-    @_command("rpc app")
+    @_command("rpc app", op="rpc_info")
     def cmd_rpc(self, args, force=False):
         """show RPC call tables / recent outcomes"""
         info = self.dbg.rpc_info(args[0])
@@ -307,15 +375,14 @@ class PilgrimRepl:
         )
         self.emit(f"  recent outcomes: {recent or '-'}")
 
-    @_command("time")
+    @_command("time", op="clocks")
     def cmd_time(self, args, force=False):
         """logical/real clocks and interruption total"""
-        for address in self.dbg.connected_nodes:
-            node = self.dbg.cluster.node(address)
+        for row in self.dbg.clocks():
             self.emit(
-                f"  node {address} ({node.name}): real {node.clock.real_now()}us, "
-                f"logical {node.clock.logical_now()}us, "
-                f"delta {node.clock.current_delta()}us"
+                f"  node {row['address']} ({row['name']}): real {row['real']}us, "
+                f"logical {row['logical']}us, "
+                f"delta {row['delta']}us"
             )
         self.emit(
             f"  debugger interruption log total: {self.dbg.total_interruption()}us"
@@ -326,54 +393,41 @@ class PilgrimRepl:
     # ------------------------------------------------------------------
 
     def _print_moment(self, moment) -> None:
-        view = moment.view
-        if moment.event is not None:
-            self.emit(f"  @#{moment.index - 1} {moment.event.line}")
-        else:
-            self.emit(f"  @#{moment.index} (before first event)")
-        self.emit(f"  t={view.time}us")
-        for node in sorted(view.halted):
-            if view.halted[node]:
-                self.emit(f"  node {node} halted (pids {view.halted[node]})")
-        for node in sorted(view.in_flight):
-            if view.in_flight[node]:
-                self.emit(f"  node {node} rpc in flight: {view.in_flight[node]}")
-        counts = ", ".join(f"{k}={v}" for k, v in sorted(view.counts.items()) if v)
-        self.emit(f"  counts: {counts or '-'}")
+        for line in format_moment(moment):
+            self.emit(line)
 
-    @_command("record [stop]")
+    @_command("record [stop]", op="start_recording")
     def cmd_record(self, args, force=False):
         """start recording; 'record stop' seals the trace for time travel"""
         if args and args[0] == "stop":
             trace = self.dbg.stop_recording()
             self.emit(
-                f"recorded {len(trace.events)} events, "
-                f"{len(trace.checkpoints)} checkpoints; trace loaded"
+                f"recorded {trace.n_events} events, "
+                f"{trace.n_checkpoints} checkpoints; trace loaded"
             )
         else:
             self.dbg.start_recording()
             self.emit("recording (finish with 'record stop')")
 
-    @_command("at 100ms")
+    @_command("at 100ms", op="at")
     def cmd_at(self, args, force=False):
         """jump the time-travel cursor to a moment"""
         self._print_moment(self.dbg.at(parse_duration(args[0])))
 
-    @_command("rstep")
+    @_command("rstep", op="reverse_step")
     def cmd_rstep(self, args, force=False):
         """step the cursor one event backwards"""
         self._print_moment(self.dbg.reverse_step())
 
-    @_command("fstep")
+    @_command("fstep", op="forward_step")
     def cmd_fstep(self, args, force=False):
         """step the cursor one event forwards"""
         self._print_moment(self.dbg.forward_step())
 
-    @_command("why")
+    @_command("why", op="why_halted")
     def cmd_why(self, args, force=False):
         """explain why the program is halted here"""
-        node = self.dbg.cluster.node(args[0]).node_id if args else None
-        verdict = self.dbg.why_halted(node)
+        verdict = self.dbg.why_halted(args[0] if args else None)
         if not verdict["halted"]:
             self.emit("  not halted here")
             return
@@ -383,17 +437,17 @@ class PilgrimRepl:
         if verdict.get("cause") is not None:
             self.emit(f"  cause:      {verdict['cause'].line}")
 
-    @_command("causes 42")
+    @_command("causes 42", op="causal_predecessors")
     def cmd_causes(self, args, force=False):
         """causal predecessors of trace event #42"""
         for event in self.dbg.causal_predecessors(int(args[0])):
             self.emit(f"  #{event.index:<4} {event.line}")
 
-    @_command("status")
+    @_command("status", op="status")
     def cmd_status(self, args, force=False):
         """session summary"""
-        for key, value in self.dbg.status().items():
-            self.emit(f"  {key}: {value}")
+        for line in format_status(self.dbg.status()):
+            self.emit(line)
 
     @_command("help")
     def cmd_help(self, args, force=False):

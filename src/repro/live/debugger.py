@@ -2,6 +2,11 @@
 
 Talks to a :class:`~repro.live.agent.LiveAgent` over TCP (newline-framed
 JSON), giving the paper's debugger API against real Python threads.
+Responses are surfaced through the typed records of
+:mod:`repro.debugger.api` (threads as :class:`ProcessInfo`, stack
+snapshots as :class:`Frame`, ``status`` as :class:`SessionStatus`), so
+scripts written against the unified :class:`DebuggerSession` protocol
+run against this backend unchanged.
 """
 
 from __future__ import annotations
@@ -12,12 +17,26 @@ import socket
 import time
 from typing import Any, Optional
 
+from repro.debugger.api import Frame, ProcessInfo, SessionStatus
+from repro.debugger.errors import DebuggerError, register_error
 
 _sessions = itertools.count(1)
 
 
-class LiveDebuggerError(Exception):
-    pass
+@register_error
+class LiveDebuggerError(DebuggerError):
+    """A live-agent request failed (connection, protocol, or rejection)."""
+
+    code = "live_error"
+
+
+def _thread_info(entry: dict) -> ProcessInfo:
+    """Typed view of one agent thread row (``ident``/``name``/``alive``)."""
+    return ProcessInfo(
+        pid=entry["ident"],
+        name=entry["name"],
+        state="running" if entry.get("alive", True) else "dead",
+    )
 
 
 class LiveDebugger:
@@ -45,7 +64,8 @@ class LiveDebugger:
 
     # ------------------------------------------------------------------
 
-    def connect(self, force: bool = False) -> list[dict]:
+    def connect(self, force: bool = False) -> list[ProcessInfo]:
+        """Open a session; refused if one is active unless ``force``."""
         session = next(_sessions)
         data = self._request(
             "connect",
@@ -53,14 +73,16 @@ class LiveDebugger:
              "debugger": f"{self.address[0]}:{self.address[1]}"},
         )
         self.session_id = session
-        return data["threads"]
+        return [_thread_info(t) for t in data["threads"]]
 
     def disconnect(self) -> None:
+        """End the session; the program continues."""
         if self.session_id is not None:
             self._request("disconnect")
             self.session_id = None
 
     def close(self) -> None:
+        """Drop the TCP connection (the session, if any, stays)."""
         try:
             self._file.close()
             self._sock.close()
@@ -69,14 +91,16 @@ class LiveDebugger:
 
     # ------------------------------------------------------------------
 
-    def processes(self) -> list[dict]:
-        return self._request("list_threads")
+    def processes(self, node=None) -> list[ProcessInfo]:
+        """List the debuggee's threads (``node`` ignored: one target)."""
+        return [_thread_info(t) for t in self._request("list_threads")]
 
-
-    def set_breakpoint(self, file_suffix: str, line: int) -> None:
+    def set_breakpoint(self, file_suffix: str, line: int):
+        """Plant a breakpoint at ``(file suffix, line)``."""
         self._request("set_breakpoint", {"file": file_suffix, "line": line})
 
     def clear_breakpoint(self, file_suffix: str, line: int) -> None:
+        """Remove a breakpoint previously set at ``(file suffix, line)``."""
         self._request("clear_breakpoint", {"file": file_suffix, "line": line})
 
     def wait_for_breakpoint(self, timeout: float = 10.0) -> dict:
@@ -93,23 +117,49 @@ class LiveDebugger:
             time.sleep(0.02)
         raise LiveDebuggerError("no breakpoint before the deadline")
 
-    def halt(self) -> None:
+    def halt(self, node=None) -> None:
+        """Freeze every debuggee thread (``node`` ignored: one target)."""
         self._request("halt")
 
-    def resume(self) -> None:
+    def resume(self, node=None) -> None:
+        """Thaw the debuggee (``node`` ignored: one target)."""
         self._request("continue")
 
-    def step(self) -> dict:
+    def step(self, node=None, pid: Optional[int] = None) -> dict:
+        """Single-step the trapped thread."""
         return self._request("step")
 
-    def backtrace(self, thread: int) -> list[dict]:
-        return self._request("backtrace", {"thread": thread})
+    def backtrace(self, thread: Optional[int] = None,
+                  pid: Optional[int] = None) -> list[Frame]:
+        """Stack frames of one thread, innermost first."""
+        ident = thread if thread is not None else pid
+        frames = self._request("backtrace", {"thread": ident})
+        return [
+            Frame(
+                module=raw["file"], proc=raw["func"], line=raw["line"],
+                locals=raw.get("locals", {}), pid=ident,
+            )
+            for raw in frames
+        ]
 
-    def read_var(self, thread: int, name: str, frame: int = 0) -> Any:
+    def read_var(self, thread: Optional[int] = None, name: str = "",
+                 frame: int = 0) -> Any:
+        """Read a variable in some frame of a thread."""
         return self._request(
             "read_var", {"thread": thread, "name": name, "frame": frame}
         )
 
-    def status(self) -> dict:
+    def status(self) -> SessionStatus:
         """The live get_debuggee_status (§6.1) plus halt state."""
-        return self._request("status")
+        data = self._request("status")
+        return SessionStatus(
+            mode="live",
+            session=self.session_id,
+            halted=data["halted"],
+            extra={
+                "debugger": data["debugger"],
+                "logical_time": data["logical_time"],
+                "real_time": data["real_time"],
+                "delta": data["delta"],
+            },
+        )

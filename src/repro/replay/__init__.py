@@ -19,7 +19,10 @@ stream; this package turns that stream into a first-class artifact:
   ``step`` / ``reverse_step``, ``why_halted`` and causal-predecessor
   queries (Lamport ordering over the trace);
 * :mod:`repro.replay.races` — an offline message-race detector flagging
-  receive-order nondeterminism between traces of the same seed family.
+  receive-order nondeterminism between traces of the same seed family;
+* :mod:`repro.replay.session` — :class:`TraceSession` wraps a trace in
+  the typed :class:`~repro.debugger.api.DebuggerSession` surface so the
+  service daemon can serve post-mortem sessions next to live worlds.
 """
 
 from repro.replay.checkpoint import Checkpoint, StateView, capture_view, fold_view
@@ -35,6 +38,7 @@ from repro.replay.replay import (
     replay_prefix,
     replay_trace,
 )
+from repro.replay.session import TraceSession
 from repro.replay.timetravel import Moment, TimeTravel
 from repro.replay.trace import TRACE_VERSION, Trace, TraceEvent, TraceWriter
 
@@ -59,5 +63,6 @@ __all__ = [
     "extract_verdict",
     "Moment",
     "TimeTravel",
+    "TraceSession",
     "detect_races",
 ]

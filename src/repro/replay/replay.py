@@ -22,17 +22,24 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.debugger.errors import DebuggerError, register_error
 from repro.replay.trace import Trace, TraceWriter
 
 
-class ReplayDivergence(AssertionError):
+@register_error
+class ReplayDivergence(DebuggerError, AssertionError):
     """The replayed stream differs from the recording.
 
     Carries the first mismatching event index, the expected (recorded)
     and actual (replayed) normalized lines — ``None`` on a length
     mismatch — and ``kind`` (``"event"``, ``"checkpoint"``, or
-    ``"final_time"``).
+    ``"final_time"``).  Part of the :mod:`repro.debugger.errors`
+    hierarchy (code ``divergence``) so the session daemon relays it
+    losslessly; still an :class:`AssertionError` for its long-standing
+    test-facing contract.
     """
+
+    code = "divergence"
 
     def __init__(self, kind: str, index: int,
                  expected: Optional[str], actual: Optional[str]):

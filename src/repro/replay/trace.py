@@ -179,6 +179,16 @@ class Trace:
     def __len__(self) -> int:
         return len(self.events)
 
+    @property
+    def n_events(self) -> int:
+        """Event count (wire-friendly mirror of ``len(trace.events)``)."""
+        return len(self.events)
+
+    @property
+    def n_checkpoints(self) -> int:
+        """Checkpoint count (wire-friendly mirror)."""
+        return len(self.checkpoints)
+
     # -- persistence ----------------------------------------------------
 
     def save(self, path, format: Optional[str] = None) -> None:

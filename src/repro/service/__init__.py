@@ -1,0 +1,40 @@
+"""Debugger-as-a-service: one daemon, many named debugger sessions.
+
+The package turns the debugger from a library you embed into a service
+you talk to.  A long-lived daemon (:mod:`repro.service.daemon`)
+multiplexes named sessions — live simulated worlds, sealed replay
+traces, corpus reproducers, live-agent targets — behind a small
+JSON-RPC-flavored wire protocol (:mod:`repro.service.protocol`) over a
+Unix-domain socket, so sessions survive across CLI invocations and
+several tools can share one debuggee.
+
+The thin :class:`~repro.service.client.RemoteSession` proxy implements
+the same typed :class:`~repro.debugger.api.DebuggerSession` surface as
+the in-process backends: scripts and the REPL run unmodified against
+the daemon, and render byte-identical plain text.  Sessions carry the
+paper's identifier semantics — a second ``connect`` on a held session
+is refused unless forcible, which evicts the holder (it learns via a
+typed ``takeover`` error).  Idle sessions stay *dormant*: a session is
+a spec until its first operation, so thousands can be parked at
+near-zero cost (benchmark E18).
+
+Start a daemon with ``python -m repro.service start``; see
+``docs/debugger-service.md`` for the protocol reference.
+"""
+
+from repro.service.client import RemoteSession, ServiceClient
+from repro.service.daemon import PilgrimService, default_socket_path, serve
+from repro.service.dispatch import wire_methods
+from repro.service.protocol import PROTOCOL_VERSION, wire_decode, wire_encode
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "PilgrimService",
+    "RemoteSession",
+    "ServiceClient",
+    "default_socket_path",
+    "serve",
+    "wire_decode",
+    "wire_encode",
+    "wire_methods",
+]

@@ -1,0 +1,399 @@
+"""The daemon's client half: raw requests and the typed remote session.
+
+:class:`ServiceClient` owns one socket to the daemon and speaks the
+frame protocol: request out, response in, typed errors re-raised via
+:func:`~repro.debugger.errors.error_from_wire` (an
+``unreachable_node`` raised inside the daemon arrives here as an
+:class:`UnreachableNodeError`).  Connection establishment retries with
+backoff so a client racing a booting daemon wins; a reply that misses
+the host-time budget raises :class:`RequestTimeoutError` (code
+``timeout``).
+
+:class:`RemoteSession` is the thin proxy that makes a daemon session
+look like an in-process backend: it implements the full typed
+:class:`~repro.debugger.api.DebuggerSession` surface (plus the sim
+extras — time travel, RPC introspection, recording), returning genuine
+:class:`Frame` / :class:`ProcessInfo` / :class:`Moment` objects, so the
+REPL and existing scripts run against it unmodified and render
+byte-identical plain text.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import socket
+import threading
+import time
+from typing import Any, Optional, Union
+
+from repro.debugger.errors import (
+    RequestTimeoutError,
+    ServiceError,
+    error_from_wire,
+)
+from repro.service.protocol import wire_decode, wire_encode
+
+_client_ids = itertools.count(1)
+
+
+class ServiceClient:
+    """One connection to the session daemon.
+
+    ``client`` is the identity the daemon's holder bookkeeping sees; it
+    defaults to a per-process unique id, so two clients in one test are
+    distinct, and a CLI can pass a stable id to reattach across
+    invocations.
+    """
+
+    def __init__(self, path: str, timeout: float = 30.0,
+                 connect_retries: int = 20, retry_delay: float = 0.05,
+                 client: Optional[str] = None):
+        self.path = str(path)
+        self.timeout = timeout
+        self.client_id = client or f"client-{os.getpid()}-{next(_client_ids)}"
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._dial(connect_retries, retry_delay)
+
+    def _dial(self, retries: int, delay: float) -> None:
+        """Connect with linear backoff (the daemon may still be booting)."""
+        last: Optional[Exception] = None
+        for attempt in range(max(1, retries)):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            try:
+                sock.connect(self.path)
+            except OSError as exc:
+                sock.close()
+                last = exc
+                time.sleep(delay * (attempt + 1))
+                continue
+            self._sock = sock
+            self._file = sock.makefile("rwb")
+            return
+        raise ServiceError(
+            f"cannot reach a daemon at {self.path} "
+            f"after {retries} attempts: {last}"
+        )
+
+    def close(self) -> None:
+        """Drop the connection (daemon-side sessions stay)."""
+        with self._lock:
+            if self._file is not None:
+                try:
+                    self._file.close()
+                    self._sock.close()
+                except OSError:
+                    pass
+                self._file = None
+                self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def request(self, method: str, *, session: Optional[str] = None,
+                args: tuple = (), kwargs: Optional[dict] = None,
+                raw: bool = False) -> Any:
+        """One request/response round trip.
+
+        Returns the decoded ``result`` (or, with ``raw=True``, the whole
+        response object including the daemon's plain-text rendering).
+        Daemon-reported failures re-raise as their typed exception.
+        """
+        if self._file is None:
+            raise ServiceError("client is closed")
+        payload = {
+            "id": next(self._ids),
+            "method": method,
+            "client": self.client_id,
+            "params": {
+                "args": wire_encode(list(args)),
+                "kwargs": wire_encode(dict(kwargs or {})),
+            },
+        }
+        if session is not None:
+            payload["session"] = session
+        with self._lock:
+            try:
+                self._file.write((json.dumps(payload) + "\n").encode("utf-8"))
+                self._file.flush()
+                line = self._file.readline()
+            except socket.timeout:
+                raise RequestTimeoutError(
+                    f"no reply to {method!r} within {self.timeout}s"
+                ) from None
+        if not line:
+            raise ServiceError("daemon closed the connection")
+        response = json.loads(line.decode("utf-8"))
+        if not response.get("ok"):
+            raise error_from_wire(response.get("error") or {})
+        if raw:
+            return response
+        return wire_decode(response.get("result"))
+
+    def text(self, method: str, *, session: Optional[str] = None,
+             args: tuple = (), kwargs: Optional[dict] = None) -> str:
+        """The daemon's plain-text rendering of one request."""
+        return self.request(method, session=session, args=args,
+                            kwargs=kwargs, raw=True).get("text", "")
+
+    # -- daemon-level conveniences --------------------------------------
+
+    def ping(self) -> dict:
+        """Liveness + protocol version check."""
+        return self.request("ping")
+
+    def open(self, name: str, kind: str = "world", **spec) -> dict:
+        """Register a named (dormant) session on the daemon."""
+        return self.request("open", kwargs={"name": name, "kind": kind,
+                                            "spec": spec})
+
+    def close_session(self, name: str) -> dict:
+        """Drop one named session."""
+        return self.request("close", kwargs={"name": name})
+
+    def sessions(self) -> list:
+        """The daemon's session table."""
+        return self.request("sessions")
+
+    def methods(self) -> list:
+        """The wire method table (derived from the REPL registry)."""
+        return self.request("methods")
+
+    def metrics(self) -> dict:
+        """Daemon metrics snapshot + per-session request counts."""
+        return self.request("metrics")
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to exit cleanly."""
+        return self.request("shutdown")
+
+    def session(self, name: str) -> "RemoteSession":
+        """A typed :class:`RemoteSession` proxy for one named session."""
+        return RemoteSession(self, name)
+
+
+class RemoteSession:
+    """A daemon session through the typed ``DebuggerSession`` surface.
+
+    Mirrors the sim-flavored API of
+    :class:`~repro.debugger.pilgrim.Pilgrim` one-to-one; each method is
+    one wire round trip.  Holder semantics live on the daemon: the first
+    ``connect`` (or first operation) adopts the session, a competing
+    ``connect`` needs ``force=True`` and evicts this proxy, whose next
+    call raises :class:`~repro.debugger.errors.SessionTakenError`.
+    """
+
+    def __init__(self, client: ServiceClient, name: str):
+        self._client = client
+        self.name = name
+        self.session_id: Optional[int] = None
+        self.connected_nodes: list = []
+
+    def _call(self, op: str, *args, **kwargs) -> Any:
+        return self._client.request(op, session=self.name,
+                                    args=args, kwargs=kwargs)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def connect(self, *targets: Union[int, str], force: bool = False) -> dict:
+        """Open (or forcibly take over) the session and its backend."""
+        result = self._call("connect", *targets, force=force)
+        self.session_id = result.get("session_id")
+        self.connected_nodes = list(result.get("connected", []))
+        return result.get("infos", {})
+
+    def disconnect(self) -> None:
+        """Detach; the session parks and the debuggee continues."""
+        self._call("disconnect")
+        self.session_id = None
+
+    def reattach(self, node: Union[int, str]) -> dict:
+        """Re-adopt a node that became reachable again."""
+        return self._call("reattach", node)
+
+    # -- inspection ------------------------------------------------------
+
+    def processes(self, node: Union[int, str, None] = None) -> list:
+        """Typed process listing of one node."""
+        return self._call("processes", node)
+
+    def all_processes(self) -> dict:
+        """Process tables of every connected node."""
+        return self._call("all_processes")
+
+    def process_state(self, node: Union[int, str, None] = None,
+                      pid: Optional[int] = None):
+        """Registers/state of one process."""
+        return self._call("process_state", node, pid)
+
+    def status(self):
+        """Backend status summary (typed ``SessionStatus``)."""
+        return self._call("status")
+
+    def clocks(self) -> list:
+        """Logical/real clock rows per connected node."""
+        return self._call("clocks")
+
+    def total_interruption(self) -> int:
+        """Debugger-caused interruption total in microseconds."""
+        return self._call("total_interruption")
+
+    # -- execution control ----------------------------------------------
+
+    def run_for(self, duration: int) -> None:
+        """Let the debuggee run for a stretch of virtual time."""
+        return self._call("run_for", duration)
+
+    def set_breakpoint(self, node=None, module: str = "",
+                       line: Optional[int] = None,
+                       func: Optional[str] = None,
+                       pc: Optional[int] = None):
+        """Plant a breakpoint; returns the typed ``Breakpoint``."""
+        return self._call("set_breakpoint", node, module,
+                          line=line, func=func, pc=pc)
+
+    def clear_breakpoint(self, bp) -> None:
+        """Remove a previously planted breakpoint."""
+        return self._call("clear_breakpoint", bp)
+
+    def wait_for_event(self, event: Optional[str] = None,
+                       timeout: Optional[int] = None) -> dict:
+        """Drive the debuggee until the next agent event."""
+        kwargs = {} if timeout is None else {"timeout": timeout}
+        if event is not None:
+            return self._call("wait_for_event", event, **kwargs)
+        return self._call("wait_for_event", **kwargs)
+
+    def wait_for_breakpoint(self, timeout: Optional[int] = None) -> dict:
+        """Drive the debuggee until some breakpoint is hit."""
+        if timeout is None:
+            return self._call("wait_for_breakpoint")
+        return self._call("wait_for_breakpoint", timeout)
+
+    def wait_for_failure(self, timeout: Optional[int] = None) -> dict:
+        """Drive the debuggee until a process failure is reported."""
+        if timeout is None:
+            return self._call("wait_for_failure")
+        return self._call("wait_for_failure", timeout)
+
+    def halt(self, node=None):
+        """Halt one node's program (or the sole target)."""
+        return self._call("halt", node) if node is not None \
+            else self._call("halt")
+
+    def halt_all(self) -> dict:
+        """Halt every connected node at once."""
+        return self._call("halt_all")
+
+    def resume(self, node=None):
+        """Resume a halted program."""
+        return self._call("resume", node) if node is not None \
+            else self._call("resume")
+
+    def step(self, node=None, pid: Optional[int] = None) -> dict:
+        """Single-step one trapped process."""
+        return self._call("step", node, pid)
+
+    # -- stacks and data ------------------------------------------------
+
+    def backtrace(self, node=None, pid: Optional[int] = None) -> list:
+        """Stack frames of one process (typed ``Frame`` list)."""
+        return self._call("backtrace", node, pid)
+
+    def distributed_backtrace(self, node=None,
+                              pid: Optional[int] = None) -> list:
+        """Cross-node backtrace following RPCs."""
+        return self._call("distributed_backtrace", node, pid)
+
+    def read_var(self, node=None, pid: Optional[int] = None,
+                 name: str = "", frame: int = 0) -> Any:
+        """Read a frame variable (raw decoded value)."""
+        return self._call("read_var", node, pid, name, frame)
+
+    def write_var(self, node, pid: int, name: str, value: Any,
+                  frame: int = 0) -> None:
+        """Write a frame variable."""
+        return self._call("write_var", node, pid, name, value, frame)
+
+    def read_global(self, node, module: str, name: str) -> Any:
+        """Read a module global."""
+        return self._call("read_global", node, module, name)
+
+    def write_global(self, node, module: str, name: str, value: Any) -> None:
+        """Write a module global."""
+        return self._call("write_global", node, module, name, value)
+
+    def display(self, node, pid: int, name: str, frame: int = 0) -> str:
+        """Render a variable via its type's print operation."""
+        return self._call("display", node, pid, name, frame)
+
+    def invoke(self, node, module: str, func: str,
+               args: Optional[list] = None):
+        """Call a procedure inside the debuggee."""
+        return self._call("invoke", node, module, func, args)
+
+    def wake_process(self, node, pid: int, value: Any = False) -> bool:
+        """Force a waiting process runnable."""
+        return self._call("wake_process", node, pid, value)
+
+    # -- RPC debugging ---------------------------------------------------
+
+    def rpc_info(self, node) -> dict:
+        """Client/server RPC call tables of one node."""
+        return self._call("rpc_info", node)
+
+    def rpc_server_record(self, node, call_id: int) -> Optional[dict]:
+        """Server-side record of one RPC call."""
+        return self._call("rpc_server_record", node, call_id)
+
+    def diagnose_maybe_failure(self, client_node, call_id: int) -> str:
+        """Classify a maybe-failed RPC call."""
+        return self._call("diagnose_maybe_failure", client_node, call_id)
+
+    # -- record / replay and time travel --------------------------------
+
+    def start_recording(self, plan=None,
+                        checkpoint_every: Optional[int] = None,
+                        meta: Optional[dict] = None):
+        """Attach a trace writer to the debuggee's bus."""
+        return self._call("start_recording", plan,
+                          checkpoint_every=checkpoint_every, meta=meta)
+
+    def stop_recording(self):
+        """Seal the trace; returns its :class:`TraceSummary` (the trace
+        itself stays loaded on the daemon for time travel)."""
+        return self._call("stop_recording")
+
+    def at(self, t: int):
+        """Jump the time-travel cursor to virtual time ``t``."""
+        return self._call("at", t)
+
+    def forward_step(self):
+        """Step the cursor one event forwards."""
+        return self._call("forward_step")
+
+    def reverse_step(self):
+        """Step the cursor one event backwards."""
+        return self._call("reverse_step")
+
+    def why_halted(self, node=None) -> dict:
+        """Explain the halt state at the cursor."""
+        return self._call("why_halted", node)
+
+    def causal_predecessors(self, index: int) -> list:
+        """Causal history of trace event ``index``."""
+        return self._call("causal_predecessors", index)
+
+    def __repr__(self) -> str:
+        return (f"<RemoteSession {self.name!r} via {self._client.path} "
+                f"session={self.session_id}>")

@@ -1,0 +1,409 @@
+"""Debugger-as-a-service: wire protocol, daemon sessions, remote REPL."""
+
+import os
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.campaign import Corpus, build_grid, get_plan, run_campaign
+from repro.cluster import Cluster
+from repro.debugger.api import (
+    Breakpoint,
+    DebuggerSession,
+    Frame,
+    ProcessInfo,
+    SessionStatus,
+    TraceSummary,
+)
+from repro.debugger.errors import (
+    ERROR_CODES,
+    BadSessionError,
+    DebuggerError,
+    ServiceError,
+    UnsupportedOperationError,
+    error_from_wire,
+)
+from repro.debugger.pilgrim import Pilgrim
+from repro.debugger.repl import COMMANDS, PilgrimRepl
+from repro.replay import Moment, StateView, TraceSession
+from repro.service import ServiceClient, serve, wire_decode, wire_encode
+from repro.service.daemon import COUNTER_PROGRAM
+from repro.service.dispatch import wire_methods
+from repro.sim.units import MS
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    """An in-process daemon on a private socket; yields the socket path."""
+    path = str(tmp_path / "svc.sock")
+    ready = threading.Event()
+    thread = threading.Thread(target=serve, args=(path, ready), daemon=True)
+    thread.start()
+    assert ready.wait(5)
+    yield path
+    try:
+        ServiceClient(path, connect_retries=1).shutdown()
+    except DebuggerError:
+        pass
+    thread.join(5)
+
+
+def counter_world(seed=3):
+    """The demo counter world, built locally (for parity checks)."""
+    cluster = Cluster(names=["app", "debugger"], seed=seed)
+    image = cluster.load_program(COUNTER_PROGRAM, "app")
+    cluster.spawn_vm("app", image, "main")
+    return Pilgrim(cluster, home="debugger")
+
+
+def record_echo_trace(tmp_path, seed=5):
+    """Record a short echo run (real RPC traffic) into a trace file."""
+    from repro.campaign.scenarios import get_scenario
+
+    scenario = get_scenario("echo_soak")
+    cluster = Cluster(names=[*scenario.names, "debugger"], seed=seed)
+    scenario.build(cluster)
+    dbg = Pilgrim(cluster, home="debugger")
+    dbg.connect("client", "server")
+    dbg.start_recording()
+    dbg.run_for(500 * MS)
+    trace = dbg.stop_recording()
+    path = tmp_path / "echo.trace.bin"
+    trace.save(path)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Wire encoding
+# ----------------------------------------------------------------------
+
+
+def test_wire_roundtrips_typed_records():
+    frame = Frame(module="app", proc="main", line=4, pc=2,
+                  locals={"i": 7}, node=0, pid=3)
+    info = ProcessInfo(pid=3, name="main", state="halted",
+                       trapped_at=("app", "main", 2))
+    status = SessionStatus(mode="sim", session=1, connected=[0],
+                           extra={"reachability": {0: "up"}})
+    bp = Breakpoint(node=0, module="app", func="main", pc=2, line=4)
+    payload = wire_decode(wire_encode(
+        {"frames": [frame], "info": info, "status": status, "bp": bp}
+    ))
+    assert payload["frames"][0] == frame
+    assert isinstance(payload["frames"][0], Frame)
+    assert payload["info"].pid == 3 and payload["info"].state == "halted"
+    assert list(payload["info"].trapped_at) == ["app", "main", 2]
+    assert isinstance(payload["status"], SessionStatus)
+    assert payload["status"]["reachability"] == {0: "up"}
+    assert payload["bp"].key() == bp.key()
+
+
+def test_wire_preserves_int_keyed_mappings():
+    value = {0: {"name": "app"}, 1: {"name": "server"}}
+    encoded = wire_encode(value)
+    assert "__kv__" in encoded  # plain JSON would stringify the keys
+    assert wire_decode(encoded) == value
+
+
+def test_wire_unknown_record_degrades_to_dict():
+    decoded = wire_decode({"__rec__": "FutureThing", "x": 1})
+    assert decoded == {"x": 1}
+
+
+def test_wire_unencodable_object_degrades_to_repr():
+    encoded = wire_encode({"handle": object()})
+    assert isinstance(encoded["handle"], str)
+
+
+def test_errors_roundtrip_losslessly():
+    for code, cls in ERROR_CODES.items():
+        try:
+            original = cls("boom", node="app", address=1, state="down")
+        except TypeError:
+            continue  # custom-constructor subclass (divergence)
+        rebuilt = error_from_wire(original.to_wire())
+        assert type(rebuilt) is cls
+        assert rebuilt.code == code
+        assert str(rebuilt) == "boom"
+        assert rebuilt.node == "app" and rebuilt.address == 1
+
+
+# ----------------------------------------------------------------------
+# The method table derives from the REPL registry
+# ----------------------------------------------------------------------
+
+
+def test_wire_methods_derive_from_repl_registry():
+    table = {row["op"]: row for row in wire_methods()}
+    for command in COMMANDS.values():
+        if command.op is None:
+            continue
+        assert command.op in table
+        assert command.name in table[command.op]["commands"]
+    # And the scripting-only extras ride along.
+    assert "wait_for_breakpoint" in table
+    assert "stop_recording" in table
+
+
+def test_daemon_accepts_repl_aliases(daemon):
+    with ServiceClient(daemon) as client:
+        client.open("w1", "world", scenario="counter")
+        client.request("connect", session="w1", args=("app",))
+        # "bt" is the REPL alias of "backtrace"; both hit the same op.
+        client.request("break", session="w1", args=("app", "app"),
+                       kwargs={"line": 4})
+        hit = client.request("wait_for_breakpoint", session="w1")
+        via_alias = client.request("bt", session="w1",
+                                   args=("app", hit["pid"]))
+        via_op = client.request("backtrace", session="w1",
+                                args=("app", hit["pid"]))
+        assert via_alias == via_op
+        assert isinstance(via_alias[0], Frame)
+
+
+# ----------------------------------------------------------------------
+# Sessions through the typed RemoteSession proxy
+# ----------------------------------------------------------------------
+
+
+def test_remote_session_implements_protocol(daemon):
+    with ServiceClient(daemon) as client:
+        session = client.session("any")
+        assert isinstance(session, DebuggerSession)
+
+
+def test_world_session_full_flow(daemon):
+    with ServiceClient(daemon) as client:
+        client.open("w1", "world", scenario="counter", seed=3)
+        session = client.session("w1")
+        infos = session.connect("app")
+        assert list(infos) == [0] and infos[0]["name"] == "app"
+        assert session.session_id == 1
+        listing = session.processes("app")
+        assert all(isinstance(info, ProcessInfo) for info in listing)
+        bp = session.set_breakpoint("app", "app", line=4)
+        assert isinstance(bp, Breakpoint) and bp.line == 4
+        hit = session.wait_for_breakpoint()
+        frames = session.backtrace("app", hit["pid"])
+        assert isinstance(frames[0], Frame) and frames[0].proc == "main"
+        assert session.read_var("app", hit["pid"], "i") == \
+            frames[0].locals["i"]
+        status = session.status()
+        assert isinstance(status, SessionStatus)
+        assert status.mode == "sim" and status.breakpoints == 1
+        session.resume("app")
+        session.disconnect()
+
+
+def test_world_session_time_travel_over_wire(daemon):
+    with ServiceClient(daemon) as client:
+        client.open("w1", "world", scenario="counter", seed=3)
+        session = client.session("w1")
+        session.connect("app")
+        session.start_recording()
+        session.run_for(100 * MS)
+        summary = session.stop_recording()
+        assert isinstance(summary, TraceSummary)
+        moment = session.at(50 * MS)
+        assert isinstance(moment, Moment)
+        assert isinstance(moment.view, StateView)
+        assert isinstance(session.forward_step(), Moment)
+        assert isinstance(session.reverse_step(), Moment)
+
+
+def test_trace_session_over_wire(daemon, tmp_path):
+    trace_path = record_echo_trace(tmp_path)
+    with ServiceClient(daemon) as client:
+        client.open("t1", "trace", path=str(trace_path))
+        session = client.session("t1")
+        session.connect()
+        status = session.status()
+        assert status.mode == "replay" and status.trace_loaded
+        assert status["events"] > 0
+        session.at(0)  # rewind: the client exits before the trace ends
+        listing = session.processes()
+        assert any(info.name == "main" for info in listing)
+        moment = session.at(50 * MS)
+        assert isinstance(moment, Moment) and moment.time <= 50 * MS
+        with pytest.raises(UnsupportedOperationError) as excinfo:
+            session.halt()
+        assert excinfo.value.code == "unsupported"
+
+
+def test_two_session_kinds_coexist(daemon, tmp_path):
+    trace_path = record_echo_trace(tmp_path)
+    with ServiceClient(daemon) as client:
+        client.open("world", "world", scenario="counter", seed=3)
+        client.open("postmortem", "trace", path=str(trace_path))
+        live = client.session("world")
+        dead = client.session("postmortem")
+        live.connect("app")
+        dead.connect()
+        assert live.status().mode == "sim"
+        assert dead.status().mode == "replay"
+        rows = {row["name"]: row for row in client.sessions()}
+        assert rows["world"]["state"] == "attached"
+        assert rows["postmortem"]["state"] == "attached"
+
+
+def test_corpus_reproducer_debuggable_by_name(daemon, tmp_path):
+    cells = build_grid(["echo"], [0], [("crash", get_plan("crash"))])
+    corpus_dir = tmp_path / "corpus"
+    run_campaign(cells, workers=1, shrink=True, corpus_dir=corpus_dir)
+    label = Corpus.open(corpus_dir).entries()[0].label()
+
+    # Directly: the corpus hands out a typed post-mortem session.
+    session = Corpus.open(corpus_dir).open_session(label)
+    assert isinstance(session, TraceSession)
+    assert session.name == label
+
+    # And through the daemon, by name.
+    with ServiceClient(daemon) as client:
+        client.open("bug", "corpus", root=str(corpus_dir), entry=label)
+        remote = client.session("bug")
+        remote.connect()
+        status = remote.status()
+        assert status.mode == "replay" and status["events"] > 0
+        verdict = remote.why_halted()
+        assert "halted" in verdict
+
+
+def test_corpus_find_rejects_unknown_entry(tmp_path):
+    corpus = Corpus.open(tmp_path / "empty")
+    with pytest.raises(KeyError, match="unknown corpus entry"):
+        corpus.find("nope")
+
+
+# ----------------------------------------------------------------------
+# Sessions survive across client connections (the daemon's whole point)
+# ----------------------------------------------------------------------
+
+
+def test_session_survives_across_client_invocations(daemon):
+    first = ServiceClient(daemon, client="cli-alice")
+    first.open("w1", "world", scenario="counter", seed=3)
+    session = first.session("w1")
+    session.connect("app")
+    session.set_breakpoint("app", "app", line=4)
+    first.close()  # the CLI process exits; no disconnect
+
+    # A second invocation under the same identity reattaches seamlessly.
+    second = ServiceClient(daemon, client="cli-alice")
+    revived = second.session("w1")
+    status = revived.status()
+    assert status.session == 1 and status.breakpoints == 1
+    hit = revived.wait_for_breakpoint()
+    assert hit["line"] == 4
+    second.close()
+
+
+def test_dormant_sessions_materialize_lazily(daemon):
+    with ServiceClient(daemon) as client:
+        for index in range(5):
+            client.open(f"parked-{index}", "world", scenario="counter")
+        rows = {row["name"]: row["state"] for row in client.sessions()}
+        assert all(state == "dormant" for state in rows.values())
+        assert client.metrics()["snapshot"][
+            "service.sessions_materialized"] == 0
+        client.session("parked-0").connect("app")  # first touch builds
+        assert client.metrics()["snapshot"][
+            "service.sessions_materialized"] == 1
+
+
+def test_unknown_session_and_method_are_typed_errors(daemon):
+    with ServiceClient(daemon) as client:
+        with pytest.raises(BadSessionError) as excinfo:
+            client.session("ghost").status()
+        assert excinfo.value.code == "bad_session"
+        client.open("w1", "world", scenario="counter")
+        with pytest.raises(ServiceError):
+            client.request("frobnicate", session="w1")
+
+
+# ----------------------------------------------------------------------
+# REPL byte-identity: local backend vs the daemon
+# ----------------------------------------------------------------------
+
+REPL_SCRIPT = [
+    "connect app",
+    "ps app",
+    "break app app 4",
+    "wait",
+    "bt app 3",
+    "print app 3 i",
+    "step app 3",
+    "status",
+    "time",
+    "continue app",
+    "record",
+    "run 100ms",
+    "record stop",
+    "at 50ms",
+    "fstep",
+    "rstep",
+    "why",
+    "clear 1",
+    "disconnect",
+]
+
+
+def test_repl_renders_byte_identical_locally_and_remotely(daemon):
+    local = PilgrimRepl(counter_world(seed=3)).run_script(REPL_SCRIPT)
+    with ServiceClient(daemon) as client:
+        client.open("w1", "world", scenario="counter", seed=3)
+        remote = PilgrimRepl(client.session("w1")).run_script(REPL_SCRIPT)
+    assert local == remote
+
+
+# ----------------------------------------------------------------------
+# The CLI end to end (a real daemon process, two invocations)
+# ----------------------------------------------------------------------
+
+
+def _cli(socket_path, *argv, check=True):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.service", "--socket", socket_path,
+         "--client", "cli-test", *argv],
+        capture_output=True, text=True, timeout=120, env=env,
+    )
+    if check:
+        assert result.returncode == 0, result.stderr
+    return result
+
+
+def test_cli_sessions_survive_between_invocations(tmp_path):
+    socket_path = str(tmp_path / "cli.sock")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    daemon_proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "--socket", socket_path,
+         "start"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    try:
+        ServiceClient(socket_path, connect_retries=100).close()  # wait for boot
+        _cli(socket_path, "open", "w1", "--kind", "world",
+             "--scenario", "counter", "--seed", "3")
+        first = _cli(socket_path, "script", "w1",
+                     "connect app", "break app app 4", "wait")
+        assert "* breakpoint" in first.stdout
+        # A separate invocation reattaches to the same held session.
+        second = _cli(socket_path, "script", "w1", "status", "bt app 3")
+        assert "breakpoints: 1" in second.stdout
+        assert "app.main" in second.stdout
+        listing = _cli(socket_path, "sessions")
+        assert "w1" in listing.stdout and "attached" in listing.stdout
+        _cli(socket_path, "stop")
+        assert daemon_proc.wait(timeout=30) == 0
+        assert not os.path.exists(socket_path)
+    finally:
+        if daemon_proc.poll() is None:
+            daemon_proc.kill()

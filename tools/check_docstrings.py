@@ -28,6 +28,7 @@ GATED = (
     "src/repro/kernel",
     "src/repro/net",
     "src/repro/replay",
+    "src/repro/service",
 )
 
 
