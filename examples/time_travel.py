@@ -2,10 +2,13 @@
 """Time travel: record a chaos run once, then debug it offline.
 
 Records a seeded client/server run under a fault plan (crash, reboot,
-delivery jitter) into a versioned JSONL trace, replays it and proves the
-event stream byte-identical, then interrogates the recording — seek to a
-moment, step backwards, walk a packet's causal history — and finally
-compares two seeds of a two-client scenario to flag a message race.
+delivery jitter) into a binary PILTRACE recording (JSONL stays as an
+export via ``python -m repro.replay convert``), replays it and proves
+the event stream byte-identical, then interrogates the recording — seek
+to a moment, step backwards, walk a packet's causal history — and
+finally compares two seeds of a two-client scenario to flag a message
+race.  ``examples/branching.py`` picks up from here: fork the recording
+and explore what-if futures.
 
 Run:  python examples/time_travel.py
 """
@@ -66,9 +69,9 @@ def main():
           f"{len(trace.checkpoints)} checkpoints, seed {trace.seed}")
 
     with tempfile.TemporaryDirectory() as tmp:
-        path = Path(tmp) / "run.trace.jsonl"
+        path = Path(tmp) / "run.trace.bin"
         trace.save(path)
-        print(f"saved {path.stat().st_size} bytes of JSONL; reloading")
+        print(f"saved {path.stat().st_size} bytes of binary trace; reloading")
         trace = Trace.load(path)
 
     # -- replay ---------------------------------------------------------

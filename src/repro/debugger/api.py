@@ -31,7 +31,15 @@ Canonical operation names:
 ``backtrace``       stack frames of one process
 ``read_var``        read a variable in some frame
 ``status``          session/debuggee status summary
+``fork``            fork a loaded trace into a what-if branch
+``branches``        list the branches forked off a trace
+``diff_branches``   event-graph diff between two branches
 ==================  ============================================
+
+The last three are the branching-time-travel surface
+(:mod:`repro.replay.branch`): backends without a recorded trace to fork
+(the live debugger) answer them with the stable ``unsupported`` error
+code rather than omitting them.
 """
 
 from __future__ import annotations
@@ -266,3 +274,21 @@ class DebuggerSession(Protocol):
 
     def status(self) -> SessionStatus:
         """Session/debuggee status summary."""
+
+    def fork(self, perturbation, checkpoint: int = 0,
+             parent: Optional[str] = None, builder=None,
+             mode: str = "process", run_until: Optional[int] = None):
+        """Fork a loaded trace at a checkpoint into a perturbed branch.
+
+        Out-of-place: the what-if future re-executes in a separate
+        process; the session's own world and trace are never touched.
+        Backends with nothing to fork raise the typed ``unsupported``
+        error.
+        """
+
+    def branches(self) -> list:
+        """List the branches forked off the loaded trace (root first)."""
+
+    def diff_branches(self, a: str, b: str):
+        """Event-graph diff between two branches (first divergent event,
+        per-node divergence times, halt-state deltas)."""

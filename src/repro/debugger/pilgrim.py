@@ -94,6 +94,7 @@ class Pilgrim:
         self._trace_writer = None
         self.trace = None
         self._timetravel = None
+        self._branch_tree = None
         #: True while an API call is driving the simulation; arrival of a
         #: response/event then stops the run immediately so virtual time
         #: does not overshoot.
@@ -729,6 +730,7 @@ class Pilgrim:
             trace = Trace.load(trace)
         self.trace = trace
         self._timetravel = TimeTravel(trace)
+        self._branch_tree = None
 
     def _travel(self):
         if self._timetravel is None:
@@ -762,6 +764,47 @@ class Pilgrim:
     def causal_predecessors(self, index: int):
         """Time-travel: the causal history of trace event ``index``."""
         return self._travel().causal_predecessors(index)
+
+    # ------------------------------------------------------------------
+    # Branching time travel (see repro.replay.branch)
+    # ------------------------------------------------------------------
+
+    def _branches(self):
+        from repro.replay.branch import BranchTree
+        self._travel()  # a trace must be loaded
+        if self._branch_tree is None:
+            builder = (self.trace.header.get("meta") or {}).get("builder")
+            self._branch_tree = BranchTree(self.trace, builder)
+        return self._branch_tree
+
+    def fork(self, perturbation, checkpoint: int = 0,
+             parent: Optional[str] = None, builder=None,
+             mode: str = "process", run_until: Optional[int] = None):
+        """Fork the loaded trace at a checkpoint into a what-if branch.
+
+        The perturbed future re-executes in a separate process — the
+        session's own world and trace are never touched (the dormant
+        principle applied to whole executions).  ``builder`` names the
+        scenario recipe (callable, ``"scenario:NAME"``, or
+        ``"module:function"``); it may also ride in the trace header's
+        ``meta["builder"]``.  Interactive recordings cannot be forked
+        without ``run_until`` — the debugger's own request timing is
+        not in the trace.  Returns the branch's
+        :class:`~repro.replay.branch.BranchInfo`.
+        """
+        tree = self._branches()
+        if builder is not None:
+            tree.build = builder
+        return tree.fork(perturbation, checkpoint=checkpoint, parent=parent,
+                         mode=mode, run_until=run_until).info()
+
+    def branches(self):
+        """List every branch forked off the loaded trace (root first)."""
+        return self._branches().branches()
+
+    def diff_branches(self, a: str, b: str):
+        """Event-graph diff between two branches (id, prefix, or "root")."""
+        return self._branches().diff(a, b)
 
     # ------------------------------------------------------------------
     # Time conversion for shared servers (paper §6.1)

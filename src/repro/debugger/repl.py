@@ -150,6 +150,50 @@ def format_status(status: SessionStatus) -> list[str]:
     return [f"  {key}: {value}" for key, value in status.items()]
 
 
+def format_branch(info) -> str:
+    """One ``branches`` table row (root and fork branches alike)."""
+    parent = info.parent[:12] if info.parent else "-"
+    note = f"  {info.note}" if info.note else ""
+    return (
+        f"  {info.id[:12]}  <- {parent:<12} @cp{info.checkpoint} "
+        f"t={info.fork_time}us  {info.kind:<10} "
+        f"events={info.events} final={info.final_time}us{note}"
+    )
+
+
+def format_branches(infos) -> list[str]:
+    """The full ``branches`` listing (shared with the daemon)."""
+    if not infos:
+        return ["  no branches (fork one first)"]
+    return [format_branch(info) for info in infos]
+
+
+def format_branch_diff(diff) -> list[str]:
+    """``diff`` rendering: first divergence, per-node times, end-state deltas."""
+    if diff.identical:
+        return [f"  branches identical ({diff.events_a} events)"]
+    lines = []
+    first = diff.first_divergence
+    lines.append(f"  first divergence at event #{first['index']}:")
+    lines.append(f"    a: {first['a'] if first['a'] is not None else '(ended)'}")
+    lines.append(f"    b: {first['b'] if first['b'] is not None else '(ended)'}")
+    for node, times in sorted(diff.per_node.items()):
+        where = "bus" if node == -1 else f"node {node}"
+        t_a = f"{times['time_a']}us" if times["time_a"] is not None else "-"
+        t_b = f"{times['time_b']}us" if times["time_b"] is not None else "-"
+        lines.append(f"  {where} diverges at a:{t_a} b:{t_b}")
+    if diff.halted_a or diff.halted_b:
+        lines.append(f"  halted at end: a={diff.halted_a or '-'} "
+                     f"b={diff.halted_b or '-'}")
+    for key, (count_a, count_b) in sorted(diff.count_delta.items()):
+        lines.append(f"  counts.{key}: a={count_a} b={count_b}")
+    lines.append(
+        f"  events: a={diff.events_a} b={diff.events_b}  "
+        f"final: a={diff.final_time_a}us b={diff.final_time_b}us"
+    )
+    return lines
+
+
 def format_moment(moment) -> list[str]:
     """Time-travel cursor summary (shared with the daemon)."""
     view = moment.view
@@ -442,6 +486,43 @@ class PilgrimRepl:
         """causal predecessors of trace event #42"""
         for event in self.dbg.causal_predecessors(int(args[0])):
             self.emit(f"  #{event.index:<4} {event.line}")
+
+    @_command("fork 1 crash node=server at=300ms", op="fork")
+    def cmd_fork(self, args, force=False):
+        """fork the trace at checkpoint #1 into a what-if branch"""
+        from repro.replay.branch import parse_perturbation
+        checkpoint = int(args[0])
+        kind = args[1]
+        fork_kwargs: dict = {}
+        pert_args = []
+        for pair in args[2:]:
+            key, sep, value = pair.partition("=")
+            if sep and key in ("parent", "mode", "builder"):
+                fork_kwargs[key] = value
+            elif sep and key == "until":
+                fork_kwargs["run_until"] = parse_duration(value)
+            else:
+                pert_args.append(pair)
+        perturbation = parse_perturbation(kind, pert_args,
+                                          parse_time=parse_duration)
+        info = self.dbg.fork(perturbation, checkpoint=checkpoint,
+                             **fork_kwargs)
+        self.emit(f"forked branch {info.id[:12]} at checkpoint "
+                  f"{info.checkpoint} (t={info.fork_time}us)")
+        self.emit(format_branch(info))
+
+    @_command("branches", op="branches")
+    def cmd_branches(self, args, force=False):
+        """list the branches forked off the loaded trace"""
+        for line in format_branches(self.dbg.branches()):
+            self.emit(line)
+
+    @_command("diff root 3dcb", op="diff_branches")
+    def cmd_diff(self, args, force=False):
+        """event-graph diff between two branches (ids or prefixes)"""
+        diff = self.dbg.diff_branches(args[0], args[1])
+        for line in format_branch_diff(diff):
+            self.emit(line)
 
     @_command("status", op="status")
     def cmd_status(self, args, force=False):

@@ -163,3 +163,29 @@ class LiveDebugger:
                 "delta": data["delta"],
             },
         )
+
+    # ------------------------------------------------------------------
+    # Branching time travel: typed refusals (no recorded trace to fork)
+    # ------------------------------------------------------------------
+
+    def _no_trace(self, op: str):
+        from repro.debugger.errors import UnsupportedOperationError
+        raise UnsupportedOperationError(
+            f"{op} is not available on a live target: there is no "
+            f"recorded trace to fork (record a sim run and open it as a "
+            f"trace session instead)"
+        )
+
+    def fork(self, perturbation=None, checkpoint: int = 0,
+             parent: Optional[str] = None, builder=None,
+             mode: str = "process", run_until: Optional[int] = None):
+        """Unsupported on a live target (typed ``unsupported`` error)."""
+        self._no_trace("fork")
+
+    def branches(self) -> list:
+        """Unsupported on a live target (typed ``unsupported`` error)."""
+        self._no_trace("branches")
+
+    def diff_branches(self, a: str, b: str):
+        """Unsupported on a live target (typed ``unsupported`` error)."""
+        self._no_trace("diff_branches")

@@ -20,11 +20,26 @@ stream; this package turns that stream into a first-class artifact:
   queries (Lamport ordering over the trace);
 * :mod:`repro.replay.races` — an offline message-race detector flagging
   receive-order nondeterminism between traces of the same seed family;
+* :mod:`repro.replay.branch` — branching time travel: fork a recording
+  at any checkpoint into a separate process, perturb the copy (fault
+  delta, race flip), and grow a content-addressed :class:`BranchTree`
+  of divergent futures with :func:`diff_branches` event-graph diffing;
 * :mod:`repro.replay.session` — :class:`TraceSession` wraps a trace in
   the typed :class:`~repro.debugger.api.DebuggerSession` surface so the
   service daemon can serve post-mortem sessions next to live worlds.
 """
 
+from repro.replay.branch import (
+    Branch,
+    BranchDiff,
+    BranchError,
+    BranchInfo,
+    BranchTree,
+    Perturbation,
+    diff_branches,
+    fork_trace,
+    resolve_builder,
+)
 from repro.replay.checkpoint import Checkpoint, StateView, capture_view, fold_view
 from repro.replay.format import TraceFormatError, sniff_format
 from repro.replay.races import detect_races
@@ -65,4 +80,13 @@ __all__ = [
     "TimeTravel",
     "TraceSession",
     "detect_races",
+    "Branch",
+    "BranchDiff",
+    "BranchError",
+    "BranchInfo",
+    "BranchTree",
+    "Perturbation",
+    "diff_branches",
+    "fork_trace",
+    "resolve_builder",
 ]

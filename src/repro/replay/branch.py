@@ -1,0 +1,788 @@
+"""Branching time travel: fork-and-perturb what-if exploration.
+
+A recorded trace pins a whole execution; this module turns any of its
+checkpoints into a **branch point**.  :func:`fork_trace` re-executes the
+recording's recipe in a separate process (out of place — the parent
+session and its trace are never touched), merges a :class:`Perturbation`
+into the recorded fault plan so the delta fires at or after the fork
+point, runs forward deterministically, and seals the divergent future as
+an ordinary child :class:`~repro.replay.trace.Trace`.  Because the
+simulation is deterministic, the child's event stream is byte-identical
+to the parent's up to the moment the perturbation first fires — forking
+is "replay plus one new decision", not an approximation.
+
+Branches are first-class debugger objects held in a navigable
+:class:`BranchTree`.  A branch's identity is **content-addressed** the
+way the campaign journal addresses cells: ``sha256`` over the parent
+trace fingerprint, the checkpoint index, and the canonical perturbation
+spec — so forking the same what-if twice dedupes to the same branch
+instead of re-running it.
+
+Perturbations are :class:`~repro.faults.plan.FaultAction` deltas: any
+:class:`~repro.faults.plan.FaultPlan` builder kind (crash, partition,
+delay, ...), or :meth:`Perturbation.flip_race`, which compiles a
+:class:`~repro.replay.races.MessageRace` reported by
+:func:`~repro.replay.races.detect_races` into a targeted delivery delay
+that makes the second racing message overtake the first.
+
+:func:`diff_branches` is the MAD-style event-graph diff between any two
+branches: the first divergent event, per-node divergence times, and
+halt-state/count deltas of the two final states.
+
+The surface is wired end to end: ``fork`` / ``branches`` /
+``diff_branches`` on :class:`~repro.debugger.pilgrim.Pilgrim` and
+:class:`~repro.replay.session.TraceSession`, the REPL commands ``fork``
+/ ``branches`` / ``diff``, and the service daemon's ``branch`` session
+kind (a branch is just another dormant session spec).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+from repro.debugger.api import Record
+from repro.debugger.errors import DebuggerError, register_error
+from repro.faults.plan import FaultAction, FaultPlan
+from repro.replay.races import MessageRace
+from repro.replay.trace import Trace, TraceWriter
+
+#: Perturbation kinds the REPL's ``fork`` command accepts — exactly the
+#: :class:`~repro.faults.plan.FaultPlan` builder methods.
+FAULT_KINDS = (
+    "crash", "reboot", "partition", "heal", "loss", "nack",
+    "delay", "duplicate", "reorder", "link_down",
+)
+
+
+@register_error
+class BranchError(DebuggerError):
+    """A fork/branch request that cannot be satisfied.
+
+    Raised for unknown branch ids, perturbations scheduled before their
+    fork point, missing scenario builders, and fork workers that die.
+    Part of the :mod:`repro.debugger.errors` hierarchy (stable wire code
+    ``branch``) so the session daemon relays it losslessly.
+    """
+
+    code = "branch"
+
+
+# ----------------------------------------------------------------------
+# Perturbation specs
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    """The delta a fork applies to the recorded fault plan.
+
+    ``actions`` are ordinary :class:`~repro.faults.plan.FaultAction`
+    entries at absolute virtual times; every one must fire at or after
+    the fork checkpoint's time (:meth:`validate`), which is what keeps
+    the pre-fork prefix byte-identical to the parent.  ``kind`` names
+    the spec for listings (a fault-plan builder kind, or
+    ``"flip_race"``); ``note`` is free-form context.
+    """
+
+    kind: str
+    actions: tuple = ()
+    note: str = ""
+
+    @classmethod
+    def from_plan(cls, plan: FaultPlan, kind: str = "fault",
+                  note: str = "") -> "Perturbation":
+        """Wrap a hand-built :class:`FaultPlan` delta as a perturbation."""
+        return cls(kind=kind, actions=tuple(plan.actions), note=note)
+
+    @classmethod
+    def flip_race(cls, trace: Trace, race: MessageRace,
+                  margin: int = 1000) -> "Perturbation":
+        """Compile a detected message race into a delivery reordering.
+
+        Finds the two racing deliveries in ``trace``, locates the send
+        of the message that arrived *first*, and emits one targeted
+        ``delay`` action (scoped to that source → destination pair,
+        windowed to cover the first send but not the second) whose extra
+        latency pushes the first delivery ``margin`` microseconds past
+        the second — so a fork running this perturbation experiences the
+        opposite arrival order, the one the other run of the race pair
+        observed.
+        """
+        first = _find_delivery(trace, race.dst, race.first)
+        second = _find_delivery(trace, race.dst, race.second)
+        send_first = _find_send(trace, first.fields["packet"]["pkt"])
+        send_second = _find_send(trace, second.fields["packet"]["pkt"])
+        extra = (second.time - first.time) + margin
+        if send_second.time > send_first.time:
+            duration = send_second.time - send_first.time
+        else:
+            duration = margin
+        action = FaultAction(
+            at=send_first.time, kind="delay", duration=duration,
+            extra=extra, src=race.first[0], dst=race.dst,
+        )
+        return cls(
+            kind="flip_race", actions=(action,),
+            note=(f"delay {race.first} past {race.second} "
+                  f"at node {race.dst}"),
+        )
+
+    def validate(self, fork_time: int) -> None:
+        """Reject actions that would fire before the fork point.
+
+        An action earlier than the fork checkpoint would perturb the
+        shared prefix, and the branch would no longer be a fork of that
+        moment — it would be a different execution altogether.
+        """
+        if not self.actions:
+            return
+        earliest = min(action.at for action in self.actions)
+        if earliest < fork_time:
+            raise BranchError(
+                f"perturbation fires at t={earliest}us, before the fork "
+                f"checkpoint at t={fork_time}us; fork from an earlier "
+                f"checkpoint or move the action later"
+            )
+
+    def first_at(self) -> Optional[int]:
+        """Virtual time of the earliest delta action (``None`` if empty)."""
+        return min((action.at for action in self.actions), default=None)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form; exact round-trip via :meth:`from_dict`."""
+        return {
+            "kind": self.kind,
+            "note": self.note,
+            "actions": FaultPlan(actions=list(self.actions)).to_dict()["actions"],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Perturbation":
+        """Rebuild from :meth:`to_dict` output (wire/spec form)."""
+        plan = FaultPlan.from_dict({"actions": data.get("actions", [])})
+        return cls(kind=data.get("kind", "fault"),
+                   actions=tuple(plan.actions),
+                   note=data.get("note", ""))
+
+    def canonical(self) -> str:
+        """Canonical JSON encoding, the content-addressing input."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+def as_perturbation(spec: Union["Perturbation", dict]) -> "Perturbation":
+    """Accept a :class:`Perturbation` or its wire dict form."""
+    if isinstance(spec, Perturbation):
+        return spec
+    if isinstance(spec, dict):
+        return Perturbation.from_dict(spec)
+    raise BranchError(
+        f"perturbation must be a Perturbation or spec dict, "
+        f"not {type(spec).__name__}"
+    )
+
+
+def parse_perturbation(kind: str, pairs: list,
+                       parse_time: Callable[[str], int] = int) -> Perturbation:
+    """Build a perturbation from REPL-style ``key=value`` arguments.
+
+    ``kind`` is a :class:`FaultPlan` builder name (:data:`FAULT_KINDS`);
+    time-valued keys go through ``parse_time`` (the REPL passes its
+    duration parser, so ``at=300ms`` works), ``groups`` uses the
+    ``0,2|1`` spelling, and everything else parses as int/float/str.
+    """
+    if kind not in FAULT_KINDS:
+        raise BranchError(
+            f"unknown perturbation kind {kind!r} "
+            f"(known: {', '.join(FAULT_KINDS)})"
+        )
+    time_keys = {"at", "duration", "extra", "jitter"}
+    kwargs: dict = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep:
+            raise BranchError(f"expected key=value, got {pair!r}")
+        if key in time_keys:
+            kwargs[key] = parse_time(raw)
+        elif key in ("src", "dst"):
+            kwargs[key] = int(raw)
+        elif key == "probability":
+            kwargs[key] = float(raw)
+        elif key == "groups":
+            kwargs[key] = tuple(
+                tuple(int(n) for n in group.split(",") if n)
+                for group in raw.split("|")
+            )
+        else:
+            kwargs[key] = raw
+    plan = FaultPlan()
+    try:
+        getattr(plan, kind)(**kwargs)
+    except TypeError as exc:
+        raise BranchError(f"bad {kind} arguments: {exc}") from None
+    return Perturbation(kind=kind, actions=tuple(plan.actions))
+
+
+# ----------------------------------------------------------------------
+# Scenario builders by reference (picklable/spec-able fork inputs)
+# ----------------------------------------------------------------------
+
+
+def resolve_builder(ref: Union[str, Callable]) -> Callable:
+    """Resolve a scenario builder reference to a callable.
+
+    Accepts a callable unchanged, ``"scenario:NAME"`` for the campaign
+    catalogue (:data:`repro.campaign.scenarios.SCENARIOS`), or a dotted
+    ``"package.module:function"`` path — the JSON-safe spellings a
+    service session spec can carry.
+    """
+    if callable(ref):
+        return ref
+    if not isinstance(ref, str) or ":" not in ref:
+        raise BranchError(
+            f"builder reference must be callable, 'scenario:NAME', or "
+            f"'module:function', not {ref!r}"
+        )
+    prefix, _, name = ref.partition(":")
+    if prefix == "scenario":
+        from repro.campaign.scenarios import get_scenario
+        try:
+            return get_scenario(name).build
+        except KeyError as exc:
+            raise BranchError(str(exc.args[0])) from None
+    import importlib
+    try:
+        module = importlib.import_module(prefix)
+    except ImportError as exc:
+        raise BranchError(f"cannot import builder module {prefix!r}: {exc}") \
+            from None
+    build = getattr(module, name, None)
+    if not callable(build):
+        raise BranchError(f"{ref!r} does not name a callable builder")
+    return build
+
+
+# ----------------------------------------------------------------------
+# The fork engine
+# ----------------------------------------------------------------------
+
+
+def _resolve_checkpoint(parent: Trace, checkpoint_index: int):
+    """Index into the parent's checkpoints, with a typed error."""
+    try:
+        return parent.checkpoints[checkpoint_index]
+    except IndexError:
+        raise BranchError(
+            f"checkpoint {checkpoint_index} out of range "
+            f"(trace has {parent.n_checkpoints} checkpoints)"
+        ) from None
+
+
+def _child_drive(parent: Trace, run_until: Optional[int]) -> dict:
+    """How the fork should be driven: the parent's mode, or an override.
+
+    Only re-executable recordings (``record_run`` traces, drive mode
+    ``until`` or ``drain``) can be forked: an interactively driven
+    session starts recording mid-run and its debugger interference is
+    not part of the fault plan, so no fresh execution can reproduce its
+    prefix.  ``run_until`` overrides *how far* the child runs, never
+    *whether* the parent is forkable.
+    """
+    from repro.replay.replay import ReplayUnsupported
+    drive = dict(parent.footer.get("drive") or {"mode": "manual"})
+    if drive.get("mode") not in ("until", "drain"):
+        raise ReplayUnsupported(
+            "trace was recorded from a manually driven session and cannot "
+            "be re-executed; record with record_run to make it forkable"
+        )
+    if run_until is not None:
+        return {"mode": "until", "until": run_until}
+    return drive
+
+
+def execute_fork(
+    parent: Trace,
+    build: Callable,
+    checkpoint_index: int,
+    perturbation: Perturbation,
+    run_until: Optional[int] = None,
+    verify_prefix: bool = True,
+) -> Trace:
+    """Re-execute the parent's recipe with the perturbation merged in.
+
+    This is the in-process fork core (:func:`fork_trace` wraps it in a
+    separate process).  It rebuilds the cluster exactly as
+    :class:`~repro.replay.replay.ReplayWorld` would — same seed, names,
+    params, skews, topology, same build/plan/drive order — with one
+    difference: the fault plan is the recorded plan **merged** with the
+    perturbation's delta actions, all constrained to fire at or after
+    the fork checkpoint.  Determinism makes the child byte-identical to
+    the parent before the delta first fires (checked when
+    ``verify_prefix`` is set), so the sealed child trace *is* the
+    divergent future of that branch point.
+    """
+    from repro.cluster import Cluster
+    from repro.faults.plan import Nemesis
+
+    checkpoint = _resolve_checkpoint(parent, checkpoint_index)
+    perturbation.validate(checkpoint.time)
+    drive = _child_drive(parent, run_until)
+
+    base = parent.fault_plan()
+    delta = FaultPlan(actions=list(perturbation.actions))
+    plans = [base, delta] if base is not None else [delta]
+    merged = FaultPlan.merge(plans)
+
+    header = parent.header
+    cluster = Cluster(
+        names=list(header["names"]),
+        seed=header["seed"],
+        params=parent.params(),
+        clock_skews=list(header["clock_skews"]),
+        topology=parent.topology,
+    )
+    writer = TraceWriter(
+        cluster,
+        plan=merged if merged.actions else None,
+        checkpoint_every=header.get("checkpoint_every"),
+        meta={
+            "branch_of": parent.fingerprint(),
+            "checkpoint": checkpoint_index,
+            "fork_time": checkpoint.time,
+            "perturbation": perturbation.to_dict(),
+        },
+    )
+    build(cluster)
+    if merged.actions:
+        Nemesis(cluster, merged)
+    if drive["mode"] == "until":
+        cluster.run(until=drive["until"])
+    else:
+        cluster.run()
+    child = writer.finish(drive=drive)
+    if verify_prefix:
+        _verify_prefix(parent, child, perturbation, checkpoint.time)
+    return child
+
+
+def _verify_prefix(parent: Trace, child: Trace,
+                   perturbation: Perturbation, fork_time: int) -> None:
+    """Assert the child matches the parent before the delta fires.
+
+    The guarantee forking rests on: every event that (by running-max
+    prefix semantics, the same rule ``at(t)`` uses) happened strictly
+    before the perturbation's first action is byte-identical across
+    parent and child.
+    """
+    from repro.replay.replay import ReplayDivergence
+
+    cut = perturbation.first_at()
+    if cut is None:
+        cut = fork_time
+    high = None
+    boundary = 0
+    for event in parent.events:
+        high = event.time if high is None else max(high, event.time)
+        if high >= cut:
+            break
+        boundary += 1
+    expected = parent.lines()[:boundary]
+    actual = child.lines()[:boundary]
+    for index, (want, got) in enumerate(zip(expected, actual)):
+        if want != got:
+            raise ReplayDivergence("event", index, want, got)
+    if len(actual) < len(expected):
+        raise ReplayDivergence(
+            "event", len(actual), expected[len(actual)], None
+        )
+
+
+def _fork_worker(conn, parent: Trace, build: Callable, checkpoint_index: int,
+                 perturbation: Perturbation, run_until: Optional[int],
+                 verify_prefix: bool) -> None:
+    """Child-process entry point: run the fork, ship the trace back."""
+    try:
+        child = execute_fork(parent, build, checkpoint_index, perturbation,
+                             run_until=run_until, verify_prefix=verify_prefix)
+        child.profile = None
+        conn.send(("ok", child))
+    except BaseException as exc:  # relay, never hang the parent
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+def fork_trace(
+    parent: Trace,
+    build: Callable,
+    checkpoint_index: int,
+    perturbation: Union[Perturbation, dict],
+    mode: str = "process",
+    run_until: Optional[int] = None,
+    verify_prefix: bool = True,
+) -> Trace:
+    """Fork ``parent`` at a checkpoint and return the divergent child.
+
+    ``mode="process"`` (the default) runs the re-execution in a
+    separate forked process — out-of-place in the strictest sense: the
+    parent session's interpreter state, cluster, and trace objects are
+    untouched no matter what the perturbed future does.  ``mode="inline"``
+    runs in-process (same result by determinism; handy under debuggers
+    and on platforms without ``fork(2)``, to which process mode falls
+    back automatically).
+
+    The spec is validated eagerly — bad checkpoints, pre-fork actions,
+    and non-re-executable parents raise here, before any process is
+    spawned.
+    """
+    perturbation = as_perturbation(perturbation)
+    checkpoint = _resolve_checkpoint(parent, checkpoint_index)
+    perturbation.validate(checkpoint.time)
+    _child_drive(parent, run_until)
+    if mode == "inline":
+        return execute_fork(parent, build, checkpoint_index, perturbation,
+                            run_until=run_until, verify_prefix=verify_prefix)
+    if mode != "process":
+        raise BranchError(f"unknown fork mode {mode!r} "
+                          f"(known: process, inline)")
+    import multiprocessing
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return execute_fork(parent, build, checkpoint_index, perturbation,
+                            run_until=run_until, verify_prefix=verify_prefix)
+    ctx = multiprocessing.get_context("fork")
+    recv_conn, send_conn = ctx.Pipe(duplex=False)
+    worker = ctx.Process(
+        target=_fork_worker,
+        args=(send_conn, parent, build, checkpoint_index, perturbation,
+              run_until, verify_prefix),
+    )
+    worker.start()
+    send_conn.close()
+    try:
+        status, payload = recv_conn.recv()
+    except EOFError:
+        worker.join()
+        raise BranchError(
+            f"fork worker died without a result (exit {worker.exitcode})"
+        ) from None
+    finally:
+        recv_conn.close()
+    worker.join()
+    if status != "ok":
+        raise BranchError(f"fork failed out of place: {payload}")
+    return payload
+
+
+def _find_delivery(trace: Trace, dst: int, key: tuple):
+    """The ``PacketDelivered`` event a race key names (see races.py)."""
+    base, occurrence = tuple(key[:3]), key[3]
+    counts: dict = {}
+    for event in trace.events:
+        if event.type != "PacketDelivered":
+            continue
+        packet = event.fields.get("packet")
+        if not isinstance(packet, dict) or packet.get("dst") != dst:
+            continue
+        found = (packet.get("src"), packet.get("port"), packet.get("kind"))
+        if found != base:
+            continue
+        if counts.get(found, 0) == occurrence:
+            return event
+        counts[found] = counts.get(found, 0) + 1
+    raise BranchError(f"no delivery {key} to node {dst} in this trace")
+
+
+def _find_send(trace: Trace, pkt: int):
+    """The ``PacketSent`` event with rebased packet id ``pkt``."""
+    for event in trace.events:
+        if event.type != "PacketSent":
+            continue
+        packet = event.fields.get("packet")
+        if isinstance(packet, dict) and packet.get("pkt") == pkt:
+            return event
+    raise BranchError(f"no send of packet {pkt} in this trace")
+
+
+# ----------------------------------------------------------------------
+# Branches and the tree
+# ----------------------------------------------------------------------
+
+
+def branch_key(parent_fingerprint: str, checkpoint_index: int,
+               perturbation: Perturbation,
+               run_until: Optional[int] = None) -> str:
+    """Content address of a fork: identical what-ifs hash identically.
+
+    Same scheme as the campaign journal's cell keys — ``sha256`` over a
+    canonical JSON document of everything that determines the child
+    trace: the parent's stream fingerprint, the checkpoint, the
+    perturbation spec, and any drive override.
+    """
+    blob = json.dumps({
+        "parent": parent_fingerprint,
+        "checkpoint": checkpoint_index,
+        "perturbation": json.loads(perturbation.canonical()),
+        "run_until": run_until,
+    }, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class BranchInfo(Record):
+    """Wire record describing one branch (the ``branches`` listing row)."""
+
+    id: str
+    parent: Optional[str]
+    checkpoint: int
+    fork_time: int
+    kind: str
+    note: str
+    actions: int
+    events: int
+    final_time: int
+    fingerprint: str
+
+
+@dataclass(frozen=True)
+class BranchDiff(Record):
+    """MAD-style event-graph diff between two branches.
+
+    ``first_divergence`` pinpoints the first event index where the two
+    normalized streams differ (``None`` when identical), with the
+    diverging line and virtual time on each side; ``per_node`` maps each
+    diverging node to the time its own event subsequence first departs;
+    ``halted_a``/``halted_b`` and ``count_delta`` compare the two final
+    folded states.
+    """
+
+    identical: bool
+    first_divergence: Optional[dict]
+    per_node: dict
+    halted_a: dict
+    halted_b: dict
+    count_delta: dict
+    events_a: int
+    events_b: int
+    final_time_a: int
+    final_time_b: int
+
+
+@dataclass
+class Branch:
+    """One node of a :class:`BranchTree`: a trace plus its provenance."""
+
+    id: str
+    parent: Optional[str]
+    checkpoint: int
+    fork_time: int
+    perturbation: Optional[Perturbation]
+    trace: Trace = field(repr=False)
+
+    def info(self) -> BranchInfo:
+        """The wire/listing record for this branch."""
+        pert = self.perturbation
+        return BranchInfo(
+            id=self.id,
+            parent=self.parent,
+            checkpoint=self.checkpoint,
+            fork_time=self.fork_time,
+            kind=pert.kind if pert is not None else "root",
+            note=pert.note if pert is not None else "",
+            actions=len(pert.actions) if pert is not None else 0,
+            events=self.trace.n_events,
+            final_time=self.trace.final_time,
+            fingerprint=self.trace.fingerprint(),
+        )
+
+
+def diff_branches(trace_a: Trace, trace_b: Trace) -> BranchDiff:
+    """Event-graph diff of two executions of one scenario family.
+
+    Symmetric by construction: ``diff_branches(b, a)`` is the same
+    report with the ``a``/``b`` sides swapped.
+    """
+    from repro.replay.timetravel import TimeTravel
+
+    lines_a, lines_b = trace_a.lines(), trace_b.lines()
+    first: Optional[dict] = None
+    shared = min(len(lines_a), len(lines_b))
+    for index in range(shared):
+        if lines_a[index] != lines_b[index]:
+            first = {
+                "index": index,
+                "a": lines_a[index],
+                "b": lines_b[index],
+                "time_a": trace_a.events[index].time,
+                "time_b": trace_b.events[index].time,
+            }
+            break
+    if first is None and len(lines_a) != len(lines_b):
+        first = {
+            "index": shared,
+            "a": lines_a[shared] if shared < len(lines_a) else None,
+            "b": lines_b[shared] if shared < len(lines_b) else None,
+            "time_a": (trace_a.events[shared].time
+                       if shared < len(lines_a) else None),
+            "time_b": (trace_b.events[shared].time
+                       if shared < len(lines_b) else None),
+        }
+
+    per_node: dict = {}
+    by_node_a = _events_by_node(trace_a)
+    by_node_b = _events_by_node(trace_b)
+    for node in sorted(set(by_node_a) | set(by_node_b)):
+        seq_a = by_node_a.get(node, [])
+        seq_b = by_node_b.get(node, [])
+        for k in range(max(len(seq_a), len(seq_b))):
+            line_a = seq_a[k][1] if k < len(seq_a) else None
+            line_b = seq_b[k][1] if k < len(seq_b) else None
+            if line_a != line_b:
+                per_node[node] = {
+                    "time_a": seq_a[k][0] if k < len(seq_a) else None,
+                    "time_b": seq_b[k][0] if k < len(seq_b) else None,
+                }
+                break
+
+    view_a = TimeTravel(trace_a).at(trace_a.final_time).view
+    view_b = TimeTravel(trace_b).at(trace_b.final_time).view
+    halted_a = {n: list(p) for n, p in sorted(view_a.halted.items()) if p}
+    halted_b = {n: list(p) for n, p in sorted(view_b.halted.items()) if p}
+    count_delta = {
+        key: [view_a.counts.get(key, 0), view_b.counts.get(key, 0)]
+        for key in sorted(set(view_a.counts) | set(view_b.counts))
+        if view_a.counts.get(key, 0) != view_b.counts.get(key, 0)
+    }
+    return BranchDiff(
+        identical=first is None,
+        first_divergence=first,
+        per_node=per_node,
+        halted_a=halted_a,
+        halted_b=halted_b,
+        count_delta=count_delta,
+        events_a=len(lines_a),
+        events_b=len(lines_b),
+        final_time_a=trace_a.final_time,
+        final_time_b=trace_b.final_time,
+    )
+
+
+def _events_by_node(trace: Trace) -> dict:
+    """Per-node ``(time, line)`` subsequences (bus-global events under -1)."""
+    by_node: dict = {}
+    for event in trace.events:
+        node = event.node if event.node is not None else -1
+        by_node.setdefault(node, []).append((event.time, event.line))
+    return by_node
+
+
+class BranchTree:
+    """A navigable tree of divergent executions rooted at one trace.
+
+    The root is the recorded execution itself; :meth:`fork` grows a
+    child (or grandchild — any branch can be forked again) per
+    perturbation, deduplicating by content address.  Branches are
+    addressed by full id, any unique prefix, or ``"root"``.
+    """
+
+    def __init__(self, trace: Trace, build: Union[str, Callable, None] = None):
+        self.build = build
+        root = Branch(
+            id=trace.fingerprint(),
+            parent=None,
+            checkpoint=0,
+            fork_time=trace.checkpoints[0].time if trace.checkpoints else 0,
+            perturbation=None,
+            trace=trace,
+        )
+        self.root = root
+        self._branches: dict[str, Branch] = {root.id: root}
+
+    def __len__(self) -> int:
+        return len(self._branches)
+
+    def get(self, ref: Optional[str]) -> Branch:
+        """Resolve ``"root"``, a full branch id, or a unique id prefix."""
+        if ref is None or ref == "root":
+            return self.root
+        exact = self._branches.get(ref)
+        if exact is not None:
+            return exact
+        matches = [b for bid, b in self._branches.items()
+                   if bid.startswith(ref)]
+        if len(matches) == 1:
+            return matches[0]
+        if matches:
+            raise BranchError(f"branch id prefix {ref!r} is ambiguous "
+                              f"({len(matches)} matches)")
+        raise BranchError(f"no branch {ref!r} (see 'branches')")
+
+    def _builder(self) -> Callable:
+        if self.build is None:
+            raise BranchError(
+                "no scenario builder attached to this trace session; "
+                "pass build= (a callable, 'scenario:NAME', or "
+                "'module:function') to fork"
+            )
+        return resolve_builder(self.build)
+
+    def fork(
+        self,
+        perturbation: Union[Perturbation, dict],
+        checkpoint: int = 0,
+        parent: Optional[str] = None,
+        mode: str = "process",
+        run_until: Optional[int] = None,
+        verify_prefix: bool = True,
+    ) -> Branch:
+        """Fork a branch (default: the root) at one of its checkpoints.
+
+        Content-addressed: an identical (parent, checkpoint,
+        perturbation, drive) spec returns the already-recorded branch
+        without re-executing anything.
+        """
+        parent_branch = self.get(parent)
+        pert = as_perturbation(perturbation)
+        bid = branch_key(parent_branch.trace.fingerprint(), checkpoint,
+                         pert, run_until)
+        existing = self._branches.get(bid)
+        if existing is not None:
+            return existing
+        checkpoint_obj = _resolve_checkpoint(parent_branch.trace, checkpoint)
+        child_trace = fork_trace(
+            parent_branch.trace, self._builder(), checkpoint, pert,
+            mode=mode, run_until=run_until, verify_prefix=verify_prefix,
+        )
+        branch = Branch(
+            id=bid,
+            parent=parent_branch.id,
+            checkpoint=checkpoint,
+            fork_time=checkpoint_obj.time,
+            perturbation=pert,
+            trace=child_trace,
+        )
+        self._branches[bid] = branch
+        return branch
+
+    def branches(self) -> list[BranchInfo]:
+        """Listing rows for every branch, root first, insertion order."""
+        return [branch.info() for branch in self._branches.values()]
+
+    def lineage(self, ref: str) -> list[Branch]:
+        """Root-to-branch path of ``ref`` (the branch's ancestry)."""
+        chain: list[Branch] = []
+        branch: Optional[Branch] = self.get(ref)
+        while branch is not None:
+            chain.append(branch)
+            branch = (self._branches.get(branch.parent)
+                      if branch.parent else None)
+        chain.reverse()
+        return chain
+
+    def diff(self, a: str, b: str) -> BranchDiff:
+        """Event-graph diff between two branches (by id/prefix/"root")."""
+        return diff_branches(self.get(a).trace, self.get(b).trace)
+
+    def __repr__(self) -> str:
+        return f"<BranchTree branches={len(self._branches)}>"

@@ -270,7 +270,7 @@ class Checkpoint:
     view: StateView
 
     def to_dict(self) -> dict:
-        """Serialize for one JSONL checkpoint line."""
+        """Serialize for one checkpoint record (binary or JSONL)."""
         return {
             "index": self.index,
             "time": self.time,
@@ -280,7 +280,7 @@ class Checkpoint:
 
     @classmethod
     def from_dict(cls, data: dict) -> "Checkpoint":
-        """Rebuild from a JSONL checkpoint line."""
+        """Rebuild from a checkpoint record (binary or JSONL)."""
         return cls(
             index=data["index"],
             time=data["time"],

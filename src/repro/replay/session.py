@@ -22,19 +22,30 @@ from typing import Optional, Union
 
 from repro.debugger.api import ProcessInfo, SessionStatus
 from repro.debugger.errors import DebuggerError, UnsupportedOperationError
+from repro.replay.branch import BranchDiff, BranchInfo, BranchTree
 from repro.replay.timetravel import Moment, TimeTravel
 from repro.replay.trace import Trace
 
 
 class TraceSession:
-    """Read-only debugger session over one sealed trace."""
+    """Read-only debugger session over one sealed trace.
 
-    def __init__(self, trace: Union[Trace, str, bytes], name: str = ""):
+    ``builder`` (a callable, ``"scenario:NAME"``, or
+    ``"module:function"``) names the scenario recipe; with it attached
+    the session can also *fork* the recording into perturbed what-if
+    branches (see :mod:`repro.replay.branch`) — still without ever
+    touching the trace itself.
+    """
+
+    def __init__(self, trace: Union[Trace, str, bytes], name: str = "",
+                 builder=None):
         if isinstance(trace, (str, bytes)) or hasattr(trace, "__fspath__"):
             trace = Trace.load(trace)
         self.trace = trace
         self.name = name or f"trace(seed={trace.header.get('seed')})"
+        self.builder = builder
         self._travel = TimeTravel(trace)
+        self._branch_tree: Optional[BranchTree] = None
         self.session_id: Optional[int] = None
         self.connected_nodes: list[int] = list(range(len(self._names)))
 
@@ -133,6 +144,50 @@ class TraceSession:
     def causal_predecessors(self, index: int):
         """Causal history of trace event ``index``."""
         return self._travel.causal_predecessors(index)
+
+    # ------------------------------------------------------------------
+    # Branching time travel (repro.replay.branch)
+    # ------------------------------------------------------------------
+
+    def _tree(self) -> BranchTree:
+        if self._branch_tree is None:
+            self._branch_tree = BranchTree(self.trace, self.builder)
+        return self._branch_tree
+
+    def fork(self, perturbation, checkpoint: int = 0,
+             parent: Optional[str] = None, builder=None,
+             mode: str = "process",
+             run_until: Optional[int] = None) -> BranchInfo:
+        """Fork the recording at a checkpoint into a perturbed branch.
+
+        Out-of-place: the child execution runs in a separate process and
+        this session's trace is never modified.  ``perturbation`` is a
+        :class:`~repro.replay.branch.Perturbation` or its dict form;
+        ``parent`` forks from an existing branch instead of the root.
+        Returns the branch's :class:`~repro.replay.branch.BranchInfo`.
+        """
+        if builder is not None:
+            self.builder = builder
+            self._tree().build = builder
+        return self._tree().fork(
+            perturbation, checkpoint=checkpoint, parent=parent,
+            mode=mode, run_until=run_until,
+        ).info()
+
+    def branches(self) -> list[BranchInfo]:
+        """List every branch of this session's tree (root first)."""
+        return self._tree().branches()
+
+    def diff_branches(self, a: str, b: str) -> BranchDiff:
+        """Event-graph diff between two branches (id/prefix/"root")."""
+        return self._tree().diff(a, b)
+
+    def branch_session(self, ref: str) -> "TraceSession":
+        """Open a branch's child trace as its own :class:`TraceSession`."""
+        branch = self._tree().get(ref)
+        return TraceSession(branch.trace,
+                            name=f"{self.name}/branch:{branch.id[:12]}",
+                            builder=self.builder)
 
     # ------------------------------------------------------------------
     # Live-only operations: typed refusals

@@ -5,6 +5,9 @@ The daemon plus a small client toolbox::
     python -m repro.service start                     # run a daemon (foreground)
     python -m repro.service open w1 --kind world --scenario counter
     python -m repro.service open t1 --kind trace --path run.trace.bin
+    python -m repro.service open b1 --kind branch --path run.trace.bin \\
+        --builder scenario:echo --checkpoint 1 \\
+        --perturbation '{"kind": "crash", "actions": [...]}'
     python -m repro.service call w1 connect app
     python -m repro.service script w1 "break app app 4" "wait" "bt app 3"
     python -m repro.service repl w1                   # interactive REPL
@@ -64,7 +67,8 @@ def _spec_from(options) -> dict:
     """Collect the session spec flags that were actually given."""
     spec = {}
     for key in ("scenario", "seed", "topology", "path", "root",
-                "entry", "host", "port"):
+                "entry", "host", "port", "builder", "checkpoint",
+                "perturbation", "run_until"):
         value = getattr(options, key, None)
         if value is not None:
             spec[key] = value
@@ -95,15 +99,25 @@ def main(argv: Optional[list[str]] = None) -> int:
     open_cmd = sub.add_parser("open", help="register a named session")
     open_cmd.add_argument("name")
     open_cmd.add_argument("--kind", default="world",
-                          choices=("world", "trace", "corpus", "live"))
+                          choices=("world", "trace", "corpus", "live",
+                                   "branch"))
     open_cmd.add_argument("--scenario", help="world: scenario name")
     open_cmd.add_argument("--seed", type=int, help="world: RNG seed")
     open_cmd.add_argument("--topology", help="world: ring|mesh")
-    open_cmd.add_argument("--path", help="trace: trace file")
+    open_cmd.add_argument("--path", help="trace/branch: parent trace file")
     open_cmd.add_argument("--root", help="corpus: corpus directory")
     open_cmd.add_argument("--entry", help="corpus: entry label or key")
     open_cmd.add_argument("--host", help="live: agent host")
     open_cmd.add_argument("--port", type=int, help="live: agent port")
+    open_cmd.add_argument("--builder",
+                          help="trace/branch: scenario builder reference "
+                               "('scenario:NAME' or 'module:function')")
+    open_cmd.add_argument("--checkpoint", type=int,
+                          help="branch: fork checkpoint index")
+    open_cmd.add_argument("--perturbation",
+                          help="branch: perturbation spec as JSON")
+    open_cmd.add_argument("--run-until", type=int, dest="run_until",
+                          help="branch: drive override (us of virtual time)")
 
     close_cmd = sub.add_parser("close", help="drop a named session")
     close_cmd.add_argument("name")

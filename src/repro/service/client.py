@@ -394,6 +394,35 @@ class RemoteSession:
         """Causal history of trace event ``index``."""
         return self._call("causal_predecessors", index)
 
+    # -- branching time travel (repro.replay.branch) --------------------
+
+    def fork(self, perturbation, checkpoint: int = 0,
+             parent: Optional[str] = None, builder=None,
+             mode: str = "process", run_until: Optional[int] = None):
+        """Fork the session's trace into a what-if branch (daemon-side).
+
+        ``perturbation`` may be a
+        :class:`~repro.replay.branch.Perturbation` (sent in its dict
+        form) or the dict itself; ``builder`` must be a JSON-safe
+        reference (``"scenario:NAME"`` / ``"module:function"``).
+        Returns the branch's :class:`~repro.replay.branch.BranchInfo`.
+        """
+        if hasattr(perturbation, "to_dict"):
+            perturbation = perturbation.to_dict()
+        kwargs: dict = {"checkpoint": checkpoint, "parent": parent,
+                        "mode": mode, "run_until": run_until}
+        if builder is not None:
+            kwargs["builder"] = builder
+        return self._call("fork", perturbation, **kwargs)
+
+    def branches(self) -> list:
+        """List the branches forked off the session's trace."""
+        return self._call("branches")
+
+    def diff_branches(self, a: str, b: str):
+        """Event-graph diff between two branches (ids or prefixes)."""
+        return self._call("diff_branches", a, b)
+
     def __repr__(self) -> str:
         return (f"<RemoteSession {self.name!r} via {self._client.path} "
                 f"session={self.session_id}>")

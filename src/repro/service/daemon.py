@@ -69,7 +69,7 @@ end
 """
 
 #: Session kinds :func:`build_backend` understands.
-SESSION_KINDS = ("world", "trace", "corpus", "live")
+SESSION_KINDS = ("world", "trace", "corpus", "live", "branch")
 
 
 def default_socket_path() -> str:
@@ -107,7 +107,32 @@ def build_backend(kind: str, spec: dict) -> Any:
     if kind == "trace":
         from repro.replay.session import TraceSession
 
-        return TraceSession(spec["path"])
+        return TraceSession(spec["path"], builder=spec.get("builder"))
+    if kind == "branch":
+        # A branch is just another dormant session spec: fork the parent
+        # trace out of place when first touched, then serve the child
+        # trace post-mortem (grandchild forks work — the child session
+        # keeps the builder).
+        import json as _json
+
+        from repro.replay.branch import BranchTree, as_perturbation
+        from repro.replay.session import TraceSession
+        from repro.replay.trace import Trace
+
+        perturbation = spec["perturbation"]
+        if isinstance(perturbation, str):
+            perturbation = _json.loads(perturbation)
+        builder = spec["builder"]
+        tree = BranchTree(Trace.load(spec["path"]), builder)
+        branch = tree.fork(
+            as_perturbation(perturbation),
+            checkpoint=int(spec.get("checkpoint", 0)),
+            mode=spec.get("mode", "process"),
+            run_until=(int(spec["run_until"])
+                       if spec.get("run_until") is not None else None),
+        )
+        return TraceSession(branch.trace, name=f"branch:{branch.id[:12]}",
+                            builder=builder)
     if kind == "corpus":
         from repro.campaign.corpus import Corpus
 

@@ -24,6 +24,9 @@ from repro.debugger.api import TraceSummary
 from repro.debugger.errors import ServiceError, UnsupportedOperationError
 from repro.debugger.repl import (
     COMMANDS,
+    format_branch,
+    format_branch_diff,
+    format_branches,
     format_frames,
     format_moment,
     format_process,
@@ -129,6 +132,12 @@ def render_text(op: str, result: Any) -> str:
         )
     if op == "status":
         return "\n".join(format_status(result))
+    if op == "fork":
+        return format_branch(result)
+    if op == "branches":
+        return "\n".join(format_branches(result))
+    if op == "diff_branches":
+        return "\n".join(format_branch_diff(result))
     if isinstance(result, Moment):
         return "\n".join(format_moment(result))
     if isinstance(result, TraceSummary):

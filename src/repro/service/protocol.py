@@ -45,6 +45,7 @@ from repro.debugger.api import (
     TraceSummary,
 )
 from repro.debugger.errors import ServiceError
+from repro.replay.branch import BranchDiff, BranchInfo
 from repro.replay.checkpoint import StateView
 from repro.replay.timetravel import Moment
 from repro.replay.trace import TraceEvent
@@ -55,7 +56,8 @@ PROTOCOL_VERSION = 1
 #: Tag name -> record class, for every type the wire can carry.
 RECORD_TYPES: dict[str, type] = {
     cls.__name__: cls
-    for cls in (ProcessInfo, Breakpoint, Frame, SessionStatus, TraceSummary)
+    for cls in (ProcessInfo, Breakpoint, Frame, SessionStatus, TraceSummary,
+                BranchInfo, BranchDiff)
 }
 
 _REC = "__rec__"

@@ -68,6 +68,17 @@ def test_live_python_debugging():
     assert "detached; program still running" in out
 
 
+def test_branching():
+    out = run_example("branching.py")
+    assert "forked branch" in out
+    assert "parent untouched: True" in out
+    assert "identical fork deduped: True" in out
+    assert "parent vs partitioned: first divergence at event #" in out
+    assert "partitioned vs crashed: first divergence at event #" in out
+    assert "counts.rpc_failed" in out
+    assert "branches recorded: 3" in out
+
+
 def test_time_travel():
     out = run_example("time_travel.py")
     assert "replay byte-identical: True" in out

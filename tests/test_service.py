@@ -1,5 +1,6 @@
 """Debugger-as-a-service: wire protocol, daemon sessions, remote REPL."""
 
+import json
 import os
 import subprocess
 import sys
@@ -27,7 +28,15 @@ from repro.debugger.errors import (
 )
 from repro.debugger.pilgrim import Pilgrim
 from repro.debugger.repl import COMMANDS, PilgrimRepl
-from repro.replay import Moment, StateView, TraceSession
+from repro.faults import FaultPlan
+from repro.replay import (
+    BranchInfo,
+    Moment,
+    Perturbation,
+    StateView,
+    TraceSession,
+    record_run,
+)
 from repro.service import ServiceClient, serve, wire_decode, wire_encode
 from repro.service.daemon import COUNTER_PROGRAM
 from repro.service.dispatch import wire_methods
@@ -250,6 +259,56 @@ def test_two_session_kinds_coexist(daemon, tmp_path):
         rows = {row["name"]: row for row in client.sessions()}
         assert rows["world"]["state"] == "attached"
         assert rows["postmortem"]["state"] == "attached"
+
+
+def record_forkable_trace(tmp_path, seed=3):
+    """A ``record_run`` echo trace: re-executable, so branches can fork it."""
+    from repro.campaign.scenarios import get_scenario
+
+    scenario = get_scenario("echo")
+    trace = record_run(scenario.build, [*scenario.names, "debugger"],
+                       seed=seed, run_until=500 * MS,
+                       checkpoint_every=100 * MS)
+    path = tmp_path / "forkable.trace.bin"
+    trace.save(path)
+    return path
+
+
+def test_branch_session_over_wire(daemon, tmp_path):
+    trace_path = record_forkable_trace(tmp_path)
+    pert = Perturbation.from_plan(
+        FaultPlan().crash(at=250 * MS, node="server"), kind="crash")
+    with ServiceClient(daemon) as client:
+        client.open("whatif", "branch", path=str(trace_path),
+                    builder="scenario:echo", checkpoint=1,
+                    perturbation=json.dumps(pert.to_dict()))
+        session = client.session("whatif")
+        assert session.status().mode == "replay"
+        # The branch is a full trace session: time travel works on it.
+        assert session.at(0).time == 0
+        # And it can fork again (a grandchild) — the builder rode along.
+        grand = session.fork(Perturbation.from_plan(
+            FaultPlan().crash(at=400 * MS, node="client"), kind="crash"))
+        assert isinstance(grand, BranchInfo)
+        assert grand.id in [b.id for b in session.branches()]
+        diff = session.diff_branches("root", grand.id[:8])
+        assert not diff.identical and diff.first_divergence is not None
+        client.close_session("whatif")
+        assert "whatif" not in {row["name"] for row in client.sessions()}
+
+
+def test_branch_session_refuses_interactive_traces(daemon, tmp_path):
+    trace_path = record_echo_trace(tmp_path)  # Pilgrim-driven: mid-run start
+    pert = Perturbation.from_plan(
+        FaultPlan().crash(at=100 * MS, node="server"), kind="crash")
+    with ServiceClient(daemon) as client:
+        client.open("whatif", "branch", path=str(trace_path),
+                    builder="scenario:echo_soak",
+                    perturbation=json.dumps(pert.to_dict()))
+        # Dormant specs materialize at first touch; that is where the
+        # non-re-executable recording is refused.
+        with pytest.raises(DebuggerError, match="manually driven"):
+            client.session("whatif").status()
 
 
 def test_corpus_reproducer_debuggable_by_name(daemon, tmp_path):

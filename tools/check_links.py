@@ -1,12 +1,17 @@
 #!/usr/bin/env python3
-"""Check that relative markdown links resolve to existing files.
+"""Check that relative markdown links (and their anchors) resolve.
 
 Scans the repo's user-facing markdown (README.md, DESIGN.md,
-EXPERIMENTS.md, docs/*.md) for inline links and verifies that every
-relative target — stripped of any #fragment — exists on disk relative
-to the file containing the link.  External (http/https/mailto) links
-and bare anchors are skipped.  Exits non-zero listing every broken
-link.  Stdlib only, mirrored by the `docs` job in CI.
+EXPERIMENTS.md, docs/*.md) for inline links and verifies that
+
+* every relative target — stripped of any #fragment — exists on disk
+  relative to the file containing the link, and
+* every #fragment (bare ``#anchor`` links too) names a real heading in
+  the target markdown file, using GitHub's heading-slug rules.
+
+External (http/https/mailto) links are skipped.  Exits non-zero
+listing every broken link.  Stdlib only, mirrored by the `docs` job
+in CI.
 """
 
 from __future__ import annotations
@@ -22,7 +27,9 @@ DOC_GLOBS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/*.md")
 # Inline markdown links: [text](target).  Images share the syntax.
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
-SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
 
 
 def collect_files() -> list[Path]:
@@ -32,7 +39,41 @@ def collect_files() -> list[Path]:
     return files
 
 
-def check_file(path: Path) -> list[str]:
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug for a heading line.
+
+    Inline markup is stripped (backticks, emphasis, link syntax), then
+    the text is lowercased, punctuation dropped, and spaces hyphenated.
+    """
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # [t](u) -> t
+    text = text.replace("`", "").replace("*", "").replace("_", " ")
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\s-]", "", text, flags=re.UNICODE)
+    return re.sub(r"[\s]+", "-", text)
+
+
+def anchors_of(path: Path) -> set:
+    """All heading anchors a markdown file defines (duplicates get -N)."""
+    anchors: set = set()
+    seen: dict = {}
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(1))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def check_file(path: Path, anchor_cache: dict) -> list[str]:
     errors: list[str] = []
     in_fence = False
     for lineno, line in enumerate(path.read_text().splitlines(), start=1):
@@ -45,13 +86,21 @@ def check_file(path: Path) -> list[str]:
             target = match.group(1)
             if target.startswith(SKIP_PREFIXES):
                 continue
-            rel = target.split("#", 1)[0]
-            if not rel:
-                continue
-            resolved = (path.parent / rel).resolve()
+            rel, _, fragment = target.partition("#")
+            resolved = (path.parent / rel).resolve() if rel else path
             if not resolved.exists():
                 errors.append(
                     f"{path.relative_to(ROOT)}:{lineno}: broken link -> {target}"
+                )
+                continue
+            if not fragment or resolved.suffix != ".md":
+                continue
+            if resolved not in anchor_cache:
+                anchor_cache[resolved] = anchors_of(resolved)
+            if fragment not in anchor_cache[resolved]:
+                errors.append(
+                    f"{path.relative_to(ROOT)}:{lineno}: "
+                    f"broken anchor -> {target}"
                 )
     return errors
 
@@ -62,8 +111,9 @@ def main() -> int:
         print("check_links: no markdown files found", file=sys.stderr)
         return 1
     errors: list[str] = []
+    anchor_cache: dict = {}
     for path in files:
-        errors.extend(check_file(path))
+        errors.extend(check_file(path, anchor_cache))
     if errors:
         print("\n".join(errors))
         print(f"\ncheck_links: {len(errors)} broken link(s)")
