@@ -209,11 +209,16 @@ def _cmd_repro(args: argparse.Namespace) -> int:
 
     world = ReplayWorld(trace, build)
     verify = world.verify()
-    violations = scenario.check(world.cluster, probes)
+    # Probe contracts check the finished cluster; event contracts fold
+    # offline over the replayed stream — same verdict the online monitor
+    # would have produced during the recording.
+    violations = scenario.check(world.cluster, probes, trace=world.run())
     recorded = meta.get("violations", [])
     print(f"trace:       {args.trace}")
     print(f"scenario:    {campaign['scenario']} seed={campaign['seed']} "
           f"plan={campaign['plan_name']} topology={trace.topology}")
+    if meta.get("contract"):
+        print(f"contract:    {meta['contract']} (shrink target)")
     print(f"replay:      {verify.events} events byte-identical, "
           f"{verify.checkpoints_verified} checkpoints verified, "
           f"final_time={verify.final_time}")
@@ -235,7 +240,10 @@ def _cmd_scenarios(_args: argparse.Namespace) -> int:
     """Execute the ``scenarios`` subcommand (catalogue listing)."""
     print("scenarios:")
     for name in sorted(SCENARIOS):
-        print(f"  {name:<12} {SCENARIOS[name].description}")
+        scenario = SCENARIOS[name]
+        print(f"  {name:<12} {scenario.description}")
+        print(f"  {'':<12} contracts[{scenario.contracts.name}]: "
+              + ", ".join(scenario.contracts.names()))
     print("fault plans:")
     for name in sorted(PLANS):
         plan = get_plan(name)

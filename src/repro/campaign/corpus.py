@@ -233,7 +233,10 @@ class Corpus:
 
             world = ReplayWorld(trace, build)
             verify = world.verify()
-            violations = scenario.check(world.cluster, probes)
+            # Event-backed contracts fold over the replayed stream (the
+            # offline backend); probe-only scenarios ignore the trace.
+            violations = scenario.check(world.cluster, probes,
+                                        trace=world.run())
         except FileNotFoundError:
             return False, f"trace file {entry.trace} is missing"
         except Exception as exc:  # corrupt trace, divergence, ...

@@ -27,7 +27,10 @@ from repro.obs.metrics import merge_snapshots
 #: Bumped when the canonical report layout changes shape.
 #: v2: cells may carry the ``error`` verdict (with an ``error`` object)
 #: and totals grew an ``errored`` count.
-REPORT_VERSION = 2
+#: v3: cells carry a ``contracts`` verdict map (per-contract pass /
+#: fail / skipped from the scenario's contract set) and shrinks record
+#: the targeted ``contract``.
+REPORT_VERSION = 3
 
 #: Metrics series worth surfacing in the human summary (the full merged
 #: snapshot is always in the canonical report).
@@ -168,6 +171,12 @@ class CampaignReport:
             label = _row_label(cell)
             lines.append("")
             lines.append(f"  FAIL {label}:")
+            contracts = cell.get("contracts") or {}
+            broken = ", ".join(f"{name}={verdict}"
+                               for name, verdict in contracts.items()
+                               if verdict != "pass")
+            if broken:
+                lines.append(f"    contracts: {broken}")
             for violation in cell["violations"]:
                 lines.append(f"    - {violation}")
         for cell in self.errored:

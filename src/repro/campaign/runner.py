@@ -135,7 +135,8 @@ def run_cell(cell: CellSpec) -> dict:
     """Execute one grid cell in a fresh isolated world.
 
     Returns a plain JSON-able dict: the verdict (``pass`` / ``fail``
-    with the violation list), the cell's metrics snapshot, event count,
+    with the violation list), the per-contract verdict map from the
+    scenario's contract set, the cell's metrics snapshot, event count,
     final virtual time, and the normalized obs-stream fingerprint.
     Nothing in the result depends on the host, the worker, or the
     wall clock, which is what makes campaign reports byte-identical
@@ -145,11 +146,21 @@ def run_cell(cell: CellSpec) -> dict:
     cluster = Cluster(names=list(scenario.names), seed=cell.seed,
                       topology=cell.topology)
     recorder = EventStreamRecorder(cluster.world.bus)
+    monitor = None
+    if scenario.contracts.event_contracts():
+        # Event-backed contracts check online, exactly as an offline
+        # fold over a co-recorded trace would (repro.contracts).  Probe-
+        # only scenarios skip the monitor, so their streams — and hence
+        # their fingerprints — are untouched by the contract migration.
+        from repro.contracts.online import ContractMonitor
+
+        monitor = ContractMonitor(cluster.world.bus, scenario.contracts)
     probes = scenario.build(cluster)
     if cell.plan.actions:
         Nemesis(cluster, cell.plan)
     cluster.run(until=scenario.run_until)
-    violations = scenario.check(cluster, probes)
+    report = scenario.report(cluster, probes, monitor=monitor)
+    violations = report.messages()
     result = {
         "index": cell.index,
         "scenario": cell.scenario,
@@ -159,6 +170,7 @@ def run_cell(cell: CellSpec) -> dict:
         "plan": cell.plan.to_dict(),
         "verdict": "fail" if violations else "pass",
         "violations": violations,
+        "contracts": dict(report.verdicts),
         "final_time": cluster.world.now,
         "events": cluster.world.events_processed,
         "fingerprint": stream_fingerprint(recorder.lines()),

@@ -2,16 +2,24 @@
 
 A :class:`Scenario` is the unit a campaign cell executes: a named,
 deterministic recipe (node names, workload builder, run horizon) plus a
-``check`` that turns the finished cluster into a list of invariant
-violations — an empty list is a *pass* verdict.  Builders and checks are
-module-level functions so a cell is fully described by small picklable
-data (scenario name, seed, plan) and any worker process can run it.
+named :class:`~repro.contracts.dsl.ContractSet` — the declarative
+verdict oracle that replaced the old per-scenario check closures.  A
+scenario's verdict is the union of its probe contracts (end-of-run
+predicates over the builder's probes) and its event contracts (stream
+folds checked online by a :class:`~repro.contracts.online.ContractMonitor`
+during the cell, or offline by
+:func:`~repro.contracts.offline.check_trace` over a recording —
+provably the same verdict either way).  Builders, contract predicates,
+and derivations are module-level functions so a cell is fully described
+by small picklable data and any worker process can run it.
 
-The shipped scenarios wrap the exactly-once echo workload the chaos soak
-uses: every call carries a distinct power of two, so the client's
-printed total is a bitmask of exactly which calls succeeded and safety
-violations (duplicate execution, phantom success) are detectable
-bit-by-bit against the server's execution log.
+The shipped scenarios: the exactly-once echo workload the chaos soak
+uses (every call carries a distinct power of two, so the client's
+printed total is a bitmask of exactly which calls succeeded), and a
+replicated KV store with naive lease-based leader election
+(:mod:`repro.servers.replicated_kv`) whose contracts —
+``single_leader``, ``register_linearizability`` — are event-backed and
+demonstrably violable by partitioning the leader.
 
 ``PLANS`` is the matching :class:`~repro.faults.plan.FaultPlan` preset
 catalogue; a campaign grid is the cross product scenario x seed x plan.
@@ -20,8 +28,10 @@ catalogue; a campaign grid is the cross product scenario x seed x plan.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional
 
+from repro.contracts.dsl import ContractSet, ProbeContract
+from repro.contracts.report import merge_reports
 from repro.faults.plan import FaultPlan
 from repro.sim.units import MS, SEC
 
@@ -58,10 +68,9 @@ class Scenario:
     """One deterministic campaign workload.
 
     ``build(cluster)`` installs programs/services and returns a *probes*
-    dict (images, server-side logs) that ``check(cluster, probes)``
-    reads after the run to produce the violation list.  Everything else
-    a cell needs (seed, fault plan) rides in the cell spec, so the same
-    scenario sweeps the whole grid.
+    dict (images, server-side logs); ``contracts`` is the named verdict
+    oracle.  Everything else a cell needs (seed, fault plan) rides in
+    the cell spec, so the same scenario sweeps the whole grid.
     """
 
     name: str
@@ -69,7 +78,45 @@ class Scenario:
     names: tuple
     run_until: int
     build: Callable = field(repr=False)
-    check: Callable = field(repr=False)
+    contracts: ContractSet = field(repr=False)
+
+    def check(self, cluster, probes, trace=None) -> list:
+        """Violation messages for a finished run (legacy list shape).
+
+        Probe contracts evaluate against the cluster/probes; event
+        contracts fold over ``trace`` when one is supplied.  Callers
+        holding a live run attach a
+        :class:`~repro.contracts.online.ContractMonitor` instead and use
+        :meth:`report`.
+        """
+        return self.report(cluster, probes, trace=trace).messages()
+
+    def report(self, cluster, probes, trace=None, monitor=None):
+        """Full :class:`~repro.contracts.report.ContractReport`.
+
+        Event-contract verdicts come from ``monitor`` (online) or
+        ``trace`` (offline fold) — pass exactly one when the set has
+        event contracts.
+        """
+        report = self.contracts.check_probes(cluster, probes)
+        event_contracts = self.contracts.event_contracts()
+        if event_contracts:
+            if monitor is not None:
+                event_report = monitor.report()
+            elif trace is not None:
+                from repro.contracts.offline import check_trace
+
+                event_report = check_trace(trace, self.contracts)
+            else:
+                return report
+            report = merge_reports(report, event_report,
+                                   order=self.contracts.names())
+        return report
+
+
+# ----------------------------------------------------------------------
+# Echo: exactly-once powers-of-two workload (probe contracts)
+# ----------------------------------------------------------------------
 
 
 def _echo_build(cluster) -> dict:
@@ -87,54 +134,142 @@ def _echo_build(cluster) -> dict:
     return {"client_image": client_image, "executed": executed}
 
 
-def _echo_violations(cluster, probes, strict: bool) -> list:
-    """Shared invariant checks for the echo scenarios.
+def _echo_facts(cluster, probes) -> dict:
+    """The per-call bookkeeping every echo contract shares.
 
-    Safety (both modes): every call reaches a verdict, the server never
-    executes a call twice, and every success the client counted is
-    backed by a real server-side execution.  Liveness (``strict``): no
-    call may fail at all — the full bitmask must come back.
+    This derivation ran twice in the old strict/soak closures; deriving
+    once here is the deduplication the contract migration bought.
     """
-    violations: list = []
     console = probes["client_image"].console
-    if len(console) < 2:
-        violations.append(
-            f"client never finished: console={list(console)!r}"
-        )
-        return violations
-    total, done = int(console[0]), int(console[1])
-    executed = probes["executed"]
+    finished = len(console) >= 2
+    return {
+        "console": console,
+        "finished": finished,
+        "total": int(console[0]) if finished else 0,
+        "done": int(console[1]) if finished else 0,
+        "executed": probes["executed"],
+    }
+
+
+def _echo_client_finished(facts) -> Optional[str]:
+    """The client printed its summary — every other check needs it."""
+    if not facts["finished"]:
+        return f"client never finished: console={list(facts['console'])!r}"
+    return None
+
+
+def _echo_calls_resolved(facts) -> Optional[str]:
+    """Every call reached a verdict (success or failure)."""
+    done = facts["done"]
     if done != ECHO_CALLS:
-        violations.append(
-            f"calls without a verdict: done={done} expected={ECHO_CALLS}"
-        )
+        return f"calls without a verdict: done={done} expected={ECHO_CALLS}"
+    return None
+
+
+def _echo_exactly_once_execution(facts) -> Optional[str]:
+    """The server never executed one call twice."""
+    executed = facts["executed"]
     if len(executed) != len(set(executed)):
-        violations.append(
+        return (
             f"duplicate server execution: {len(executed)} executions of "
             f"{len(set(executed))} distinct calls"
         )
-    executed_mask = sum(set(executed))
+    return None
+
+
+def _echo_no_phantom_success(facts) -> Optional[str]:
+    """Every success the client counted is backed by a real execution."""
+    total = facts["total"]
+    executed_mask = sum(set(facts["executed"]))
     if total & ~executed_mask:
-        violations.append(
+        return (
             f"phantom success: client mask {total:#x} not covered by "
             f"server mask {executed_mask:#x}"
         )
-    if strict and total != ECHO_FULL_MASK:
-        violations.append(
+    return None
+
+
+def _echo_no_lost_calls(facts) -> Optional[str]:
+    """Liveness: the full success bitmask came back."""
+    total = facts["total"]
+    if total != ECHO_FULL_MASK:
+        return (
             f"lost calls: success mask {total:#x} "
             f"expected {ECHO_FULL_MASK:#x}"
         )
-    return violations
+    return None
 
 
-def _echo_check_strict(cluster, probes) -> list:
-    """Strict echo verdict: safety plus no-lost-calls liveness."""
-    return _echo_violations(cluster, probes, strict=True)
+_ECHO_SAFETY = (
+    ProbeContract(
+        name="client_finished",
+        description="the client printed its success/verdict summary",
+        check=_echo_client_finished,
+    ),
+    ProbeContract(
+        name="calls_resolved",
+        description="every call reached a verdict (done == expected)",
+        check=_echo_calls_resolved,
+        requires=("client_finished",),
+    ),
+    ProbeContract(
+        name="exactly_once_execution",
+        description="the server never executed a call twice",
+        check=_echo_exactly_once_execution,
+        requires=("client_finished",),
+    ),
+    ProbeContract(
+        name="no_phantom_success",
+        description="every counted success is backed by a server execution",
+        check=_echo_no_phantom_success,
+        requires=("client_finished",),
+    ),
+)
+
+#: Strict echo oracle: safety plus no-lost-calls liveness.
+ECHO_STRICT_SET = ContractSet(
+    name="echo_strict",
+    contracts=_ECHO_SAFETY + (
+        ProbeContract(
+            name="no_lost_calls",
+            description="liveness: every call succeeded (full bitmask)",
+            check=_echo_no_lost_calls,
+            requires=("client_finished",),
+        ),
+    ),
+    derive=_echo_facts,
+)
+
+#: Soak echo oracle: exactly-once safety only (losses allowed).
+ECHO_SOAK_SET = ContractSet(
+    name="echo_soak",
+    contracts=_ECHO_SAFETY,
+    derive=_echo_facts,
+)
 
 
-def _echo_check_soak(cluster, probes) -> list:
-    """Soak echo verdict: exactly-once safety only (losses allowed)."""
-    return _echo_violations(cluster, probes, strict=False)
+def _kv_scenario() -> Scenario:
+    """The replicated-KV scenario (import deferred to keep this module
+    light for workers that only run echo cells)."""
+    from repro.servers.replicated_kv import (
+        KV_CONTRACT_SET,
+        KV_NODE_NAMES,
+        KV_RUN_UNTIL,
+        build_kv,
+    )
+
+    return Scenario(
+        name="kv",
+        description=(
+            "replicated KV with naive lease leader election: "
+            "single_leader + register linearizability (split-brains "
+            "under an unhealed leader partition)"
+        ),
+        names=KV_NODE_NAMES,
+        run_until=KV_RUN_UNTIL,
+        build=build_kv,
+        contracts=KV_CONTRACT_SET,
+    )
 
 
 #: Registry of shipped scenarios, keyed by name.
@@ -148,7 +283,7 @@ SCENARIOS: dict = {
         names=("client", "server"),
         run_until=8 * SEC,
         build=_echo_build,
-        check=_echo_check_strict,
+        contracts=ECHO_STRICT_SET,
     ),
     "echo_soak": Scenario(
         name="echo_soak",
@@ -159,9 +294,10 @@ SCENARIOS: dict = {
         names=("client", "server"),
         run_until=8 * SEC,
         build=_echo_build,
-        check=_echo_check_soak,
+        contracts=ECHO_SOAK_SET,
     ),
 }
+SCENARIOS["kv"] = _kv_scenario()
 
 
 def _plan_calm() -> FaultPlan:
@@ -211,6 +347,22 @@ def _plan_storm() -> FaultPlan:
             .crash(at=150 * MS, node="server"))
 
 
+def _plan_leader_crash() -> FaultPlan:
+    """Crash the initial KV leader; staggered takeover keeps one leader."""
+    from repro.servers.replicated_kv import leader_crash_plan
+
+    return leader_crash_plan()
+
+
+def _plan_leader_partition() -> FaultPlan:
+    """Isolate every KV replica from every other: both followers time
+    out blind and claim the same term — the split-brain seed, which the
+    shrinker should reduce to this single partition action."""
+    from repro.servers.replicated_kv import leader_partition_plan
+
+    return leader_partition_plan()
+
+
 #: Named fault-plan presets; each entry is a zero-argument factory so a
 #: grid gets a fresh plan object per cell.
 PLANS: dict = {
@@ -220,6 +372,8 @@ PLANS: dict = {
     "partition": _plan_partition,
     "jitter": _plan_jitter,
     "storm": _plan_storm,
+    "leader_crash": _plan_leader_crash,
+    "leader_partition": _plan_leader_partition,
 }
 
 

@@ -62,6 +62,9 @@ class ShrinkResult:
     horizon: int
     trials: int
     reductions: int
+    #: The contract the minimization targeted — the first one the
+    #: original cell broke; every trial asked "does *this* still fail?".
+    contract: Optional[str] = None
     trace_fingerprint: Optional[str] = None
     trace_verdict: Optional[dict] = None
     trace_path: Optional[str] = None
@@ -84,6 +87,7 @@ class ShrinkResult:
             "minimal_windows": self.minimal_plan.window_count(),
             "minimal_plan": self.minimal_plan.to_dict(),
             "violations": self.violations,
+            "contract": self.contract,
             "horizon": self.horizon,
             "trials": self.trials,
             "reductions": self.reductions,
@@ -95,31 +99,52 @@ class ShrinkResult:
 
 
 class _CellOracle:
-    """Runs one cell's scenario under candidate plans, counting trials."""
+    """Runs one cell's scenario under candidate plans, counting trials.
+
+    Once :attr:`contract` is set (the first contract the original cell
+    broke), every :meth:`fails` trial asks specifically "does *that*
+    contract still fail?" — so minimization cannot wander onto a plan
+    that breaks something easier."""
 
     def __init__(self, cell: "CellSpec"):
         self.cell = cell
         self.scenario = get_scenario(cell.scenario)
         self.trials = 0
+        #: Name of the contract minimization targets (set from baseline).
+        self.contract: Optional[str] = None
 
-    def violations(self, plan: FaultPlan,
-                   run_until: Optional[int] = None) -> list:
-        """Execute the cell under ``plan`` and return its violations."""
+    def report(self, plan: FaultPlan, run_until: Optional[int] = None):
+        """Execute the cell under ``plan``; full contract report."""
         self.trials += 1
         cluster = Cluster(names=list(self.scenario.names), seed=self.cell.seed,
                           topology=self.cell.topology)
+        monitor = None
+        if self.scenario.contracts.event_contracts():
+            from repro.contracts.online import ContractMonitor
+
+            monitor = ContractMonitor(cluster.world.bus,
+                                      self.scenario.contracts)
         probes = self.scenario.build(cluster)
         if plan.actions:
             Nemesis(cluster, plan)
         cluster.run(until=run_until if run_until is not None
                     else self.scenario.run_until)
-        found = self.scenario.check(cluster, probes)
+        found = self.scenario.report(cluster, probes, monitor=monitor)
         cluster.close()
         return found
 
+    def violations(self, plan: FaultPlan,
+                   run_until: Optional[int] = None) -> list:
+        """Execute the cell under ``plan`` and return its violations."""
+        return self.report(plan, run_until=run_until).messages()
+
     def fails(self, plan: FaultPlan) -> bool:
-        """Does the cell still fail (any violation) under ``plan``?"""
-        return bool(self.violations(plan))
+        """Does the targeted contract (or, untargeted, anything) still
+        fail under ``plan``?"""
+        report = self.report(plan)
+        if self.contract is None:
+            return not report.ok
+        return report.verdicts.get(self.contract) == "fail"
 
 
 def _ddmin(oracle: _CellOracle, plan: FaultPlan) -> tuple[FaultPlan, int]:
@@ -220,11 +245,17 @@ def shrink_cell(
     """
     checkpoint_every = checkpoint_every or DEFAULT_CHECKPOINT_EVERY
     oracle = _CellOracle(cell)
-    baseline = oracle.violations(cell.plan)
-    if not baseline:
+    baseline = oracle.report(cell.plan)
+    if baseline.ok:
         raise ValueError(
             f"cell {cell.label()} passed; nothing to shrink"
         )
+    # Target the first contract the cell broke (declaration order), so
+    # the minimal plan reproduces *that* invariant violation.
+    oracle.contract = next(
+        name for name, verdict in baseline.verdicts.items()
+        if verdict == "fail"
+    )
     minimal, dropped = _ddmin(oracle, cell.plan)
     minimal, narrowed = _narrow_windows(oracle, minimal)
     target = oracle.violations(minimal)
@@ -249,6 +280,7 @@ def shrink_cell(
                 "cell_index": cell.index,
             },
             "violations": target,
+            "contract": oracle.contract,
         },
     )
     result = ShrinkResult(
@@ -260,6 +292,7 @@ def shrink_cell(
         original_plan=cell.plan,
         minimal_plan=minimal,
         violations=target,
+        contract=oracle.contract,
         horizon=horizon,
         trials=oracle.trials,
         reductions=dropped + narrowed + tightened,

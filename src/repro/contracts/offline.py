@@ -1,0 +1,58 @@
+"""The offline backend: contracts as a fold over a loaded trace.
+
+:func:`check_trace` replays the recorded event stream through the same
+:class:`~repro.contracts.dsl.CheckerBank` the online monitor drives,
+wrapping each :class:`~repro.replay.trace.TraceEvent` in a
+:class:`~repro.contracts.dsl.TraceFact` (field-dict access, recorded
+lines verbatim).  A trace records exactly what a co-attached monitor
+saw — same indices, same ``seq``, same rebased packet ids — so the two
+backends return byte-identical :class:`ContractReport`\\ s
+(``report.canonical()``), which the equivalence suite and the
+``contracts-equivalence`` CI job assert on every golden trace.
+"""
+
+from __future__ import annotations
+
+from repro.contracts.dsl import CheckerBank, ContractSet, TraceFact
+from repro.contracts.report import ContractReport
+from repro.replay.trace import Trace
+
+
+def check_trace(trace: Trace, contracts) -> ContractReport:
+    """Fold a contract set over a loaded trace.
+
+    ``contracts`` is a :class:`~repro.contracts.dsl.ContractSet` or an
+    iterable of contracts; only event-backed contracts participate
+    (probe contracts need a finished cluster).  The fold covers the
+    whole recording — to check a prefix, fold a sliced trace or use the
+    time-travel layer's first-violation scan.
+    """
+    if isinstance(contracts, ContractSet):
+        name = contracts.name
+        event_contracts = contracts.event_contracts()
+    else:
+        name = "contracts"
+        event_contracts = tuple(contracts)
+    bank = CheckerBank(event_contracts)
+    for trace_event in trace.events:
+        bank.feed(TraceFact(trace_event))
+    return bank.report(name=name)
+
+
+def first_violation(events, contracts, upto_index=None):
+    """Fold event contracts over ``events[:upto_index]`` and return the
+    earliest violation by anchor index (or ``None``).
+
+    The time-travel hook: ``why_halted`` uses it to name the first
+    invariant that broke at or before the cursor.
+    """
+    bank = CheckerBank(tuple(contracts))
+    for trace_event in (events if upto_index is None else events[:upto_index]):
+        bank.feed(TraceFact(trace_event))
+    report = bank.report()
+    if not report.violations:
+        return None
+    return min(
+        report.violations,
+        key=lambda v: (v.index if v.index is not None else len(events)),
+    )

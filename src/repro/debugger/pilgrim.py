@@ -766,15 +766,43 @@ class Pilgrim:
         return self._travel().causal_predecessors(index)
 
     # ------------------------------------------------------------------
+    # Contracts over the loaded trace (see repro.contracts)
+    # ------------------------------------------------------------------
+
+    def check(self, contracts=None):
+        """Fold a contract set over the loaded trace.
+
+        ``contracts`` is ``None`` (the trace's default set — its
+        campaign scenario's when the header names one, else the
+        universal safety catalogue), a
+        :class:`~repro.contracts.dsl.ContractSet`, or contract names
+        from the shipped catalogue.  Returns the frozen
+        :class:`~repro.contracts.report.ContractReport`.
+        """
+        from repro.contracts.dsl import contracts_for_trace, resolve_contracts
+        from repro.contracts.offline import check_trace
+        self._travel()  # a trace must be loaded
+        resolved = (contracts_for_trace(self.trace) if contracts is None
+                    else resolve_contracts(contracts))
+        return check_trace(self.trace, resolved)
+
+    def contracts(self) -> list:
+        """The shipped contract catalogue (listing rows)."""
+        from repro.contracts.dsl import catalog
+        return catalog()
+
+    # ------------------------------------------------------------------
     # Branching time travel (see repro.replay.branch)
     # ------------------------------------------------------------------
 
     def _branches(self):
+        from repro.contracts.dsl import contracts_for_trace
         from repro.replay.branch import BranchTree
         self._travel()  # a trace must be loaded
         if self._branch_tree is None:
             builder = (self.trace.header.get("meta") or {}).get("builder")
-            self._branch_tree = BranchTree(self.trace, builder)
+            self._branch_tree = BranchTree(
+                self.trace, builder, contracts=contracts_for_trace(self.trace))
         return self._branch_tree
 
     def fork(self, perturbation, checkpoint: int = 0,

@@ -187,10 +187,44 @@ def format_branch_diff(diff) -> list[str]:
                      f"b={diff.halted_b or '-'}")
     for key, (count_a, count_b) in sorted(diff.count_delta.items()):
         lines.append(f"  counts.{key}: a={count_a} b={count_b}")
+    divergence = getattr(diff, "first_contract_divergence", None)
+    if divergence is not None:
+        lines.append(
+            f"  contract {divergence['contract']}: "
+            f"a={divergence['a']} b={divergence['b']}"
+        )
     lines.append(
         f"  events: a={diff.events_a} b={diff.events_b}  "
         f"final: a={diff.final_time_a}us b={diff.final_time_b}us"
     )
+    return lines
+
+
+def format_contract_report(report) -> list[str]:
+    """``check`` rendering: per-contract verdicts, then each violation."""
+    lines = []
+    for name, verdict in report.verdicts.items():
+        lines.append(f"  {name:<28} {verdict}")
+    for violation in report.violations:
+        where = "" if violation.index is None else (
+            f" at event #{violation.index} (t={violation.time}us)")
+        lines.append(f"  FAIL {violation.contract}{where}: {violation.message}")
+        for evidence in violation.evidence:
+            lines.append(f"    | {evidence}")
+    lines.append(
+        f"  {'OK' if report.ok else 'VIOLATED'} "
+        f"({len(report.verdicts)} contracts over {report.events} events)"
+    )
+    return lines
+
+
+def format_contract_catalog(rows) -> list[str]:
+    """``contracts`` listing: one row per shipped contract."""
+    lines = []
+    for row in rows:
+        events = ", ".join(row["events"]) if row["events"] else "probe-only"
+        lines.append(f"  {row['name']:<28} {row['description']}")
+        lines.append(f"  {'':<28} folds: {events}")
     return lines
 
 
@@ -474,12 +508,33 @@ class PilgrimRepl:
         verdict = self.dbg.why_halted(args[0] if args else None)
         if not verdict["halted"]:
             self.emit("  not halted here")
+            violation = verdict.get("contract")
+            if violation is not None:
+                self.emit(f"  contract:   {violation.contract} violated at "
+                          f"event #{violation.index}: {violation.message}")
             return
         self.emit(f"  halted on nodes {verdict['nodes']} since t={verdict['since']}us")
         if verdict.get("halt_event") is not None:
             self.emit(f"  first halt: {verdict['halt_event'].line}")
         if verdict.get("cause") is not None:
             self.emit(f"  cause:      {verdict['cause'].line}")
+        violation = verdict.get("contract")
+        if violation is not None:
+            self.emit(f"  contract:   {violation.contract} violated at event "
+                      f"#{violation.index}: {violation.message}")
+
+    @_command("check [single_leader ...]", op="check")
+    def cmd_check(self, args, force=False):
+        """fold contracts over the loaded trace (default: the trace's set)"""
+        report = self.dbg.check(list(args) if args else None)
+        for line in format_contract_report(report):
+            self.emit(line)
+
+    @_command("contracts", op="contracts")
+    def cmd_contracts(self, args, force=False):
+        """list the shipped contract catalogue"""
+        for line in format_contract_catalog(self.dbg.contracts()):
+            self.emit(line)
 
     @_command("causes 42", op="causal_predecessors")
     def cmd_causes(self, args, force=False):

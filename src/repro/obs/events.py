@@ -43,6 +43,7 @@ __all__ = [
     "FaultHealed",
     "NodeRebooted",
     "RpcStaleRejected",
+    "Observation",
 ]
 
 
@@ -246,3 +247,46 @@ class RpcStaleRejected(Event):
     call_id: int = 0
     service: str = ""
     proc: str = ""
+
+
+# ----------------------------------------------------------------------
+# Workload observations and contract verdicts (repro.contracts)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class Observation(Event):
+    """A workload-level fact asserted by instrumented application code.
+
+    Scenarios that want history-level contracts (linearizability, leader
+    uniqueness) emit these around their operations — ``kind`` names the
+    phase (``invoke`` / ``return`` / ``leader``), ``op``/``key``/``value``
+    describe the operation, and ``pid`` ties concurrent observations to
+    their emitting process.  Values are restricted to JSON scalars so a
+    recorded observation folds back identically from a loaded trace.
+    """
+
+    kind: str = ""
+    op: str = ""
+    key: str = ""
+    value: int = 0
+    pid: int = 0
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class ContractViolated(Event):
+    """A contract checker's verdict: some invariant just broke.
+
+    Deliberately **not** part of ``__all__``: violations are judgments
+    *about* the run, not facts *of* the run, so recorders and trace
+    writers never subscribe to them — emitting one neither consumes a
+    bus ``seq`` nor perturbs replay byte-identity unless somebody
+    explicitly listens.
+    """
+
+    contract: str = ""
+    message: str = ""
+    #: Index of the anchoring event in the checker's stream numbering.
+    index: int = 0
+    #: Rendered evidence lines (bounded window) leading to the verdict.
+    evidence: Any = ()

@@ -554,7 +554,11 @@ class BranchDiff(Record):
     diverging line and virtual time on each side; ``per_node`` maps each
     diverging node to the time its own event subsequence first departs;
     ``halted_a``/``halted_b`` and ``count_delta`` compare the two final
-    folded states.
+    folded states.  ``contracts_a``/``contracts_b`` are each side's
+    per-contract verdict map (the offline fold) and
+    ``first_contract_divergence`` the first contract — in declaration
+    order — the two sides judge differently (``None`` when every verdict
+    agrees): the invariant-level diff on top of the event-level one.
     """
 
     identical: bool
@@ -567,6 +571,9 @@ class BranchDiff(Record):
     events_b: int
     final_time_a: int
     final_time_b: int
+    contracts_a: dict = field(default_factory=dict)
+    contracts_b: dict = field(default_factory=dict)
+    first_contract_divergence: Optional[dict] = None
 
 
 @dataclass
@@ -597,13 +604,31 @@ class Branch:
         )
 
 
-def diff_branches(trace_a: Trace, trace_b: Trace) -> BranchDiff:
+def diff_branches(trace_a: Trace, trace_b: Trace,
+                  contracts=None) -> BranchDiff:
     """Event-graph diff of two executions of one scenario family.
 
     Symmetric by construction: ``diff_branches(b, a)`` is the same
-    report with the ``a``/``b`` sides swapped.
+    report with the ``a``/``b`` sides swapped.  ``contracts`` (default:
+    the universal safety catalogue) is folded offline over both streams
+    for the invariant-level comparison.
     """
+    from repro.contracts.dsl import UNIVERSAL_SET
+    from repro.contracts.offline import check_trace
     from repro.replay.timetravel import TimeTravel
+
+    if contracts is None:
+        contracts = UNIVERSAL_SET
+    report_a = check_trace(trace_a, contracts)
+    report_b = check_trace(trace_b, contracts)
+    first_contract: Optional[dict] = None
+    for name in report_a.verdicts:
+        verdict_a = report_a.verdicts.get(name)
+        verdict_b = report_b.verdicts.get(name)
+        if verdict_a != verdict_b:
+            first_contract = {"contract": name, "a": verdict_a,
+                              "b": verdict_b}
+            break
 
     lines_a, lines_b = trace_a.lines(), trace_b.lines()
     first: Optional[dict] = None
@@ -665,6 +690,9 @@ def diff_branches(trace_a: Trace, trace_b: Trace) -> BranchDiff:
         events_b=len(lines_b),
         final_time_a=trace_a.final_time,
         final_time_b=trace_b.final_time,
+        contracts_a=dict(report_a.verdicts),
+        contracts_b=dict(report_b.verdicts),
+        first_contract_divergence=first_contract,
     )
 
 
@@ -686,8 +714,13 @@ class BranchTree:
     addressed by full id, any unique prefix, or ``"root"``.
     """
 
-    def __init__(self, trace: Trace, build: Union[str, Callable, None] = None):
+    def __init__(self, trace: Trace, build: Union[str, Callable, None] = None,
+                 contracts=None):
         self.build = build
+        #: Contract set judging this tree's branches (diffs, race
+        #: classification); flip_race forks inherit it.  ``None`` means
+        #: the universal safety catalogue.
+        self.contracts = contracts
         root = Branch(
             id=trace.fingerprint(),
             parent=None,
@@ -781,8 +814,48 @@ class BranchTree:
         return chain
 
     def diff(self, a: str, b: str) -> BranchDiff:
-        """Event-graph diff between two branches (by id/prefix/"root")."""
-        return diff_branches(self.get(a).trace, self.get(b).trace)
+        """Event-graph diff between two branches (by id/prefix/"root"),
+        judged under this tree's contract set."""
+        return diff_branches(self.get(a).trace, self.get(b).trace,
+                             contracts=self.contracts)
 
     def __repr__(self) -> str:
         return f"<BranchTree branches={len(self._branches)}>"
+
+
+def classify_races(tree: BranchTree, races: list,
+                   checkpoint: int = 0, mode: str = "process") -> list:
+    """The races → contracts bridge: which order inversions *matter*.
+
+    For each detected :class:`~repro.replay.races.MessageRace`, forks
+    the tree's root with :meth:`Perturbation.flip_race` (the fork
+    inherits the tree's contract set via :attr:`BranchTree.contracts`)
+    and folds the contracts over the flipped future.  A race whose flip
+    turns any baseline-passing contract verdict into ``fail`` comes back
+    tagged ``harmful=True``; a flip every contract survives is
+    ``harmful=False``.  Races whose flip cannot be executed (e.g. the
+    delay would fire before the fork checkpoint) are left unclassified
+    (``harmful=None``).  Returns new race records in input order.
+    """
+    import dataclasses
+
+    from repro.contracts.dsl import UNIVERSAL_SET
+    from repro.contracts.offline import check_trace
+
+    contracts = tree.contracts if tree.contracts is not None else UNIVERSAL_SET
+    baseline = check_trace(tree.root.trace, contracts).verdicts
+    classified: list = []
+    for race in races:
+        try:
+            perturbation = Perturbation.flip_race(tree.root.trace, race)
+            branch = tree.fork(perturbation, checkpoint=checkpoint, mode=mode)
+        except BranchError:
+            classified.append(race)
+            continue
+        flipped = check_trace(branch.trace, contracts).verdicts
+        harmful = any(
+            baseline.get(name) != "fail" and verdict == "fail"
+            for name, verdict in flipped.items()
+        )
+        classified.append(dataclasses.replace(race, harmful=harmful))
+    return classified

@@ -17,6 +17,7 @@ inversions among the *common* deliveries only.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.replay.trace import Trace
 
@@ -32,11 +33,18 @@ class MessageRace:
     #: Delivery positions in each run's per-destination order.
     pos_a: tuple
     pos_b: tuple
+    #: Contract-bridge verdict (:func:`repro.replay.branch.classify_races`):
+    #: ``True`` when flipping this race's arrival order breaks a contract
+    #: the baseline satisfied, ``False`` when the flip is benign,
+    #: ``None`` when unclassified.
+    harmful: Optional[bool] = None
 
     def __repr__(self) -> str:
+        tag = "" if self.harmful is None else (
+            " harmful" if self.harmful else " benign")
         return (
             f"<MessageRace dst={self.dst} {self.first} vs {self.second} "
-            f"a={self.pos_a} b={self.pos_b}>"
+            f"a={self.pos_a} b={self.pos_b}{tag}>"
         )
 
 

@@ -81,6 +81,7 @@ def record_run(
     clock_skews: Optional[list[int]] = None,
     meta: Optional[dict] = None,
     topology: str = "ring",
+    contracts=None,
 ) -> Trace:
     """Record one scenario run and return the sealed trace.
 
@@ -89,6 +90,13 @@ def record_run(
     header so :class:`ReplayWorld` can repeat it exactly.  The replayer
     performs the same steps in the same order: build cluster, attach
     writer, run ``build``, apply the plan, drive.
+
+    ``contracts`` (a :class:`~repro.contracts.dsl.ContractSet` or
+    contract iterable) additionally attaches an online
+    :class:`~repro.contracts.online.ContractMonitor` beside the writer;
+    its finished report lands on the returned trace as
+    ``trace.contract_report`` — byte-identical, by construction, to
+    ``check_trace(trace, contracts)`` over the same recording.
     """
     from repro.cluster import Cluster
     from repro.faults.plan import Nemesis
@@ -98,6 +106,11 @@ def record_run(
                       clock_skews=clock_skews, topology=topology)
     writer = TraceWriter(cluster, plan=plan, checkpoint_every=checkpoint_every,
                          meta=meta)
+    monitor = None
+    if contracts is not None:
+        from repro.contracts.online import ContractMonitor
+
+        monitor = ContractMonitor(cluster.world.bus, contracts)
     build(cluster)
     if plan is not None:
         Nemesis(cluster, plan)
@@ -113,6 +126,8 @@ def record_run(
             drive = {"mode": "drain"}
     trace = writer.finish(drive=drive)
     trace.profile = hook
+    if monitor is not None:
+        trace.contract_report = monitor.report()
     return trace
 
 

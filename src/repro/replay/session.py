@@ -146,12 +146,51 @@ class TraceSession:
         return self._travel.causal_predecessors(index)
 
     # ------------------------------------------------------------------
+    # Contracts (repro.contracts, offline backend)
+    # ------------------------------------------------------------------
+
+    def default_contracts(self):
+        """The contract set this trace is judged under by default.
+
+        A campaign golden trace names its scenario in the header meta,
+        so its own contract set applies; anything else gets the
+        universal safety catalogue.
+        """
+        from repro.contracts.dsl import contracts_for_trace
+
+        return contracts_for_trace(self.trace)
+
+    def check(self, contracts=None):
+        """Fold a contract set over the whole recording.
+
+        ``contracts`` is ``None`` (this trace's default set), a
+        :class:`~repro.contracts.dsl.ContractSet`, or contract names
+        from the shipped catalogue.  Returns the frozen
+        :class:`~repro.contracts.report.ContractReport` — byte-identical
+        to what an online monitor co-attached to the original run would
+        have reported.
+        """
+        from repro.contracts.dsl import resolve_contracts
+        from repro.contracts.offline import check_trace
+
+        resolved = (self.default_contracts() if contracts is None
+                    else resolve_contracts(contracts))
+        return check_trace(self.trace, resolved)
+
+    def contracts(self) -> list:
+        """The shipped contract catalogue (listing rows)."""
+        from repro.contracts.dsl import catalog
+
+        return catalog()
+
+    # ------------------------------------------------------------------
     # Branching time travel (repro.replay.branch)
     # ------------------------------------------------------------------
 
     def _tree(self) -> BranchTree:
         if self._branch_tree is None:
-            self._branch_tree = BranchTree(self.trace, self.builder)
+            self._branch_tree = BranchTree(self.trace, self.builder,
+                                           contracts=self.default_contracts())
         return self._branch_tree
 
     def fork(self, perturbation, checkpoint: int = 0,

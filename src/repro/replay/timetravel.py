@@ -141,6 +141,25 @@ class TimeTravel:
     # Why-halted
     # ------------------------------------------------------------------
 
+    def first_contract_violation(self, contracts=None):
+        """The earliest invariant violation at or before the cursor.
+
+        Folds ``contracts`` (default: the universal safety catalogue)
+        over the event prefix ``[0, cursor)`` through the offline
+        backend and returns the minimum-index
+        :class:`~repro.contracts.report.ContractViolation`, or ``None``
+        when every contract holds this far.
+        """
+        from repro.contracts.dsl import universal_contracts
+        from repro.contracts.offline import first_violation
+
+        if contracts is None:
+            contracts = universal_contracts()
+        elif hasattr(contracts, "event_contracts"):
+            contracts = contracts.event_contracts()
+        return first_violation(self.events, contracts,
+                               upto_index=self.cursor)
+
     def why_halted(self, node: Optional[int] = None) -> dict:
         """Explain the halt state at the cursor.
 
@@ -148,15 +167,19 @@ class TimeTravel:
         ``node``) is halted; otherwise the halted pids per node, the
         event that opened the current halt episode, and its cause — the
         nearest preceding ``BreakpointHit`` or ``ProcessFailed`` (the
-        agent broadcasts a halt right after either).
+        agent broadcasts a halt right after either).  Both shapes carry
+        ``contract``: the first universal-contract violation in the
+        prefix (``None`` when the invariants hold) — the invariant-level
+        "why" alongside the event-level one.
         """
         view = self._moment().view
+        contract = self.first_contract_violation()
         halted = {
             node_key: pids for node_key, pids in view.halted.items()
             if pids and (node is None or node_key == str(node))
         }
         if not halted:
-            return {"halted": False}
+            return {"halted": False, "contract": contract}
         first_halt = None
         for index in range(self.cursor - 1, -1, -1):
             event = self.events[index]
@@ -177,6 +200,7 @@ class TimeTravel:
             "since": first_halt.time if first_halt is not None else None,
             "halt_event": first_halt,
             "cause": cause,
+            "contract": contract,
         }
 
     # ------------------------------------------------------------------

@@ -394,6 +394,21 @@ class RemoteSession:
         """Causal history of trace event ``index``."""
         return self._call("causal_predecessors", index)
 
+    # -- contracts (repro.contracts) -------------------------------------
+
+    def check(self, contracts=None):
+        """Fold a contract set over the session's trace (daemon-side).
+
+        ``contracts`` must be wire-safe: ``None`` (the trace's default
+        set) or contract names from the shipped catalogue.  Returns the
+        typed :class:`~repro.contracts.report.ContractReport`.
+        """
+        return self._call("check", contracts)
+
+    def contracts(self) -> list:
+        """The shipped contract catalogue (listing rows)."""
+        return self._call("contracts")
+
     # -- branching time travel (repro.replay.branch) --------------------
 
     def fork(self, perturbation, checkpoint: int = 0,

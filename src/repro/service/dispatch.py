@@ -27,6 +27,8 @@ from repro.debugger.repl import (
     format_branch,
     format_branch_diff,
     format_branches,
+    format_contract_catalog,
+    format_contract_report,
     format_frames,
     format_moment,
     format_process,
@@ -138,6 +140,10 @@ def render_text(op: str, result: Any) -> str:
         return "\n".join(format_branches(result))
     if op == "diff_branches":
         return "\n".join(format_branch_diff(result))
+    if op == "check":
+        return "\n".join(format_contract_report(result))
+    if op == "contracts":
+        return "\n".join(format_contract_catalog(result))
     if isinstance(result, Moment):
         return "\n".join(format_moment(result))
     if isinstance(result, TraceSummary):

@@ -45,6 +45,7 @@ from repro.debugger.api import (
     TraceSummary,
 )
 from repro.debugger.errors import ServiceError
+from repro.contracts.report import ContractReport, ContractViolation
 from repro.replay.branch import BranchDiff, BranchInfo
 from repro.replay.checkpoint import StateView
 from repro.replay.timetravel import Moment
@@ -57,7 +58,7 @@ PROTOCOL_VERSION = 1
 RECORD_TYPES: dict[str, type] = {
     cls.__name__: cls
     for cls in (ProcessInfo, Breakpoint, Frame, SessionStatus, TraceSummary,
-                BranchInfo, BranchDiff)
+                BranchInfo, BranchDiff, ContractReport, ContractViolation)
 }
 
 _REC = "__rec__"

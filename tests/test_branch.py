@@ -310,3 +310,60 @@ def test_repl_fork_branches_diff_commands(parent):
     info = session.branches()[1]
     repl.run_script([f"diff root {info.id[:8]}"])
     assert any("first divergence" in line for line in repl.lines)
+
+
+# ----------------------------------------------------------------------
+# Contracts: invariant-level diffs and the races -> contracts bridge
+# ----------------------------------------------------------------------
+
+
+def test_diff_carries_contract_verdicts(parent):
+    from repro.contracts import UNIVERSAL_SET
+
+    tree = BranchTree(parent, build_two_clients)
+    branch = tree.fork(crash_pert())
+    diff = tree.diff("root", branch.id)
+    assert set(diff.contracts_a) == set(UNIVERSAL_SET.names())
+    assert set(diff.contracts_b) == set(UNIVERSAL_SET.names())
+    # A mid-run crash of the echo server breaks no safety contract, so
+    # the invariant-level diff is empty even though the streams diverge.
+    assert diff.first_contract_divergence is None
+
+
+def test_diff_respects_a_custom_contract_set(parent):
+    from repro.contracts import resolve_contracts
+
+    tree = BranchTree(parent, build_two_clients,
+                      contracts=resolve_contracts("clock_monotonicity"))
+    branch = tree.fork(crash_pert())
+    diff = tree.diff("root", branch.id)
+    assert list(diff.contracts_a) == ["clock_monotonicity"]
+
+
+def test_classify_races_tags_benign_inversions(parent):
+    from repro.replay.branch import classify_races
+
+    other = record_parent(seed=5)
+    races = detect_races(parent, other)
+    assert races and races[0].harmful is None
+    tree = BranchTree(parent, build_two_clients)
+    classified = classify_races(tree, races[:1], mode="inline")
+    assert len(classified) == 1
+    # Flipping the echo race reorders deliveries without breaking any
+    # universal contract: the bridge judges it benign, not unclassified.
+    assert classified[0].harmful is False
+    assert "benign" in repr(classified[0])
+    assert races[0].harmful is None  # input records are never mutated
+
+
+def test_classify_races_leaves_unexecutable_flips_unclassified(parent):
+    from repro.replay.branch import classify_races
+    from repro.replay.races import MessageRace
+
+    ghost = MessageRace(dst=0, first=(9, 9, "ghost", 0),
+                        second=(9, 9, "ghost", 1), pos_a=(0, 1), pos_b=(1, 0))
+    tree = BranchTree(parent, build_two_clients)
+    classified = classify_races(tree, [ghost], mode="inline")
+    assert classified[0].harmful is None
+    assert "harmful" not in repr(classified[0])
+    assert "benign" not in repr(classified[0])

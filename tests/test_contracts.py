@@ -1,0 +1,244 @@
+"""repro.contracts: DSL resolution, online/offline equivalence, goldens.
+
+The acceptance bar for the contract layer is *backend agreement*: the
+online :class:`~repro.contracts.online.ContractMonitor` (an obs-bus
+subscriber riding beside the trace writer) and the offline
+:func:`~repro.contracts.offline.check_trace` fold (over the sealed
+trace) must produce **byte-identical** canonical
+:class:`~repro.contracts.report.ContractReport` documents for every
+run — checked here over a 3 seeds x {no-fault, chaos} x {ring, mesh}
+grid of the golden echo scenario plus the replicated-KV scenario, and
+pinned against committed goldens under ``tests/golden/``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import MS, SEC, FaultPlan, record_run
+from repro.contracts import (
+    CONTRACTS,
+    UNIVERSAL_SET,
+    ContractReport,
+    ContractSet,
+    ContractViolation,
+    catalog,
+    check_trace,
+    contracts_for_trace,
+    merge_reports,
+    resolve_contracts,
+)
+from repro.contracts.dsl import ProbeContract, SINGLE_LEADER
+from repro.contracts.online import ContractMonitor
+from tests.golden_scenario import GOLDEN_NAMES, GOLDEN_PATH, build, plan
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+ECHO_REPORT_GOLDEN = GOLDEN_DIR / "contracts_echo_chaos_seed7.report.json"
+KV_REPORT_GOLDEN = GOLDEN_DIR / "contracts_kv_partition_seed0.report.json"
+
+GRID_SEEDS = (1, 2, 3)
+GRID_PLANS = ("calm", "chaos")
+GRID_TOPOLOGIES = ("ring", "mesh")
+
+
+def record_echo(seed, plan_name, topology, contracts=UNIVERSAL_SET):
+    """One grid cell: the golden echo recipe under a plan/topology."""
+    return record_run(
+        build, GOLDEN_NAMES, seed=seed,
+        plan=plan() if plan_name == "chaos" else None,
+        run_until=4 * SEC, topology=topology, contracts=contracts,
+    )
+
+
+# ----------------------------------------------------------------------
+# Online / offline equivalence (the tentpole guarantee)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", GRID_SEEDS)
+@pytest.mark.parametrize("plan_name", GRID_PLANS)
+@pytest.mark.parametrize("topology", GRID_TOPOLOGIES)
+def test_online_offline_reports_are_byte_identical(seed, plan_name, topology):
+    trace = record_echo(seed, plan_name, topology)
+    online = trace.contract_report
+    offline = check_trace(trace, UNIVERSAL_SET)
+    assert online.canonical() == offline.canonical()
+
+
+def test_equivalence_holds_for_the_kv_split_brain():
+    from repro.campaign.scenarios import get_plan, get_scenario
+
+    scenario = get_scenario("kv")
+    trace = record_run(
+        scenario.build, list(scenario.names), seed=0,
+        run_until=scenario.run_until, plan=get_plan("leader_partition"),
+        contracts=scenario.contracts,
+    )
+    online = trace.contract_report
+    offline = check_trace(trace, scenario.contracts)
+    assert online.canonical() == offline.canonical()
+    assert online.verdicts["single_leader"] == "fail"
+    assert not online.ok
+
+
+def test_equivalence_survives_a_save_load_round_trip(tmp_path):
+    from repro.replay import Trace
+
+    trace = record_echo(7, "chaos", "ring")
+    path = tmp_path / "echo.trace.bin"
+    trace.save(path, format="binary")
+    reread = Trace.load(path)
+    assert (check_trace(reread, UNIVERSAL_SET).canonical()
+            == trace.contract_report.canonical())
+
+
+# ----------------------------------------------------------------------
+# Committed goldens: reports must not drift silently
+# ----------------------------------------------------------------------
+
+
+def test_echo_golden_report_matches_the_committed_file():
+    from repro.replay import Trace
+
+    trace = Trace.load(GOLDEN_PATH)
+    report = check_trace(trace, UNIVERSAL_SET)
+    committed = json.loads(ECHO_REPORT_GOLDEN.read_text())
+    assert json.loads(report.canonical()) == committed, (
+        "contract report over the committed golden trace drifted; if the "
+        "change is intentional, regenerate with tools/regen_goldens.py"
+    )
+
+
+def test_kv_golden_report_matches_the_committed_file():
+    from repro.campaign.scenarios import get_plan, get_scenario
+
+    scenario = get_scenario("kv")
+    trace = record_run(
+        scenario.build, list(scenario.names), seed=0,
+        run_until=scenario.run_until, plan=get_plan("leader_partition"),
+    )
+    report = check_trace(trace, scenario.contracts)
+    committed = json.loads(KV_REPORT_GOLDEN.read_text())
+    assert json.loads(report.canonical()) == committed, (
+        "KV contract report drifted; if the change is intentional, "
+        "regenerate with tools/regen_goldens.py"
+    )
+
+
+# ----------------------------------------------------------------------
+# DSL resolution and the report record
+# ----------------------------------------------------------------------
+
+
+def test_resolve_contracts_accepts_names_sets_and_none():
+    assert resolve_contracts(None) is UNIVERSAL_SET
+    assert resolve_contracts(UNIVERSAL_SET) is UNIVERSAL_SET
+    single = resolve_contracts("single_leader")
+    assert single.names() == ["single_leader"]
+    pair = resolve_contracts(["single_leader", "clock_monotonicity"])
+    assert pair.names() == ["single_leader", "clock_monotonicity"]
+    assert resolve_contracts(SINGLE_LEADER).names() == ["single_leader"]
+    with pytest.raises(KeyError):
+        resolve_contracts("no_such_contract")
+
+
+def test_catalog_lists_every_shipped_contract():
+    rows = catalog()
+    assert sorted(row["name"] for row in rows) == sorted(CONTRACTS)
+    assert all(row["description"] for row in rows)
+
+
+def test_contracts_for_trace_prefers_the_campaign_scenario_set():
+    from repro.campaign.scenarios import get_scenario
+
+    plain = record_echo(1, "calm", "ring", contracts=None)
+    assert contracts_for_trace(plain) is UNIVERSAL_SET
+    scenario = get_scenario("kv")
+    tagged = record_run(
+        scenario.build, list(scenario.names), seed=0, run_until=200 * MS,
+        meta={"campaign": {"scenario": "kv"}},
+    )
+    assert contracts_for_trace(tagged) is scenario.contracts
+    unknown = record_run(
+        scenario.build, list(scenario.names), seed=0, run_until=200 * MS,
+        meta={"campaign": {"scenario": "gone"}},
+    )
+    assert contracts_for_trace(unknown) is UNIVERSAL_SET
+
+
+def test_probe_requires_chaining_skips_dependents():
+    base = ProbeContract(
+        name="base", description="always fails",
+        check=lambda facts: "base broke",
+    )
+    dependent = ProbeContract(
+        name="dependent", description="needs base",
+        check=lambda facts: None, requires=("base",),
+    )
+    report = ContractSet(name="t", contracts=(base, dependent)) \
+        .check_probes(cluster=None, probes={})
+    assert report.verdicts == {"base": "fail", "dependent": "skipped"}
+    assert report.messages() == ["base broke"]
+
+
+def test_merge_reports_orders_verdicts_and_concatenates_violations():
+    first = ContractReport(verdicts={"b": "pass"}, violations=(), events=0)
+    second = ContractReport(
+        verdicts={"a": "fail"},
+        violations=(ContractViolation(contract="a", message="broke"),),
+        events=42,
+    )
+    merged = merge_reports(first, second, order=["a", "b"])
+    assert list(merged.verdicts) == ["a", "b"]
+    assert merged.events == 42
+    assert not merged.ok
+    assert merged.first_violation().message == "broke"
+
+
+def test_violation_evidence_cites_trace_lines():
+    trace = record_echo(7, "chaos", "ring")
+    report = check_trace(trace, UNIVERSAL_SET)
+    lines = set(trace.lines())
+    for violation in report.violations:
+        for cited in violation.evidence:
+            assert cited in lines
+
+
+# ----------------------------------------------------------------------
+# The monitor is an ordinary dormant-path subscriber
+# ----------------------------------------------------------------------
+
+
+def test_contract_violated_stays_out_of_the_recorded_stream():
+    """Judgments are not facts: recorders never see ContractViolated."""
+    from repro.obs import events as ev
+
+    assert "ContractViolated" not in ev.__all__
+    trace = record_echo(7, "chaos", "ring")
+    assert all(event.type != "ContractViolated" for event in trace.events)
+
+
+def test_monitor_does_not_perturb_the_event_stream():
+    bare = record_echo(5, "chaos", "ring", contracts=None)
+    watched = record_echo(5, "chaos", "ring")
+    assert bare.fingerprint() == watched.fingerprint()
+
+
+def test_monitor_emits_typed_violation_events():
+    from repro.campaign.scenarios import get_plan, get_scenario
+    from repro.cluster import Cluster
+    from repro.faults.plan import Nemesis
+    from repro.obs import events as ev
+
+    scenario = get_scenario("kv")
+    cluster = Cluster(names=list(scenario.names), seed=0)
+    monitor = ContractMonitor(cluster.world.bus, scenario.contracts)
+    seen = []
+    cluster.world.bus.subscribe(ev.ContractViolated, seen.append)
+    scenario.build(cluster)
+    Nemesis(cluster, get_plan("leader_partition"))
+    cluster.run(until=scenario.run_until)
+    assert seen, "split brain must surface as a live ContractViolated"
+    assert seen[0].contract == "single_leader"
+    assert monitor.report().verdicts["single_leader"] == "fail"

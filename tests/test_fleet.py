@@ -27,6 +27,7 @@ from repro.campaign import (
     run_campaign,
 )
 from repro.campaign.scenarios import SCENARIOS, Scenario
+from repro.contracts.dsl import ContractSet, ProbeContract
 
 # ----------------------------------------------------------------------
 # Hostile test scenarios
@@ -58,34 +59,39 @@ def _hang_build(cluster):
     time.sleep(300)
 
 
-def _unpicklable_check(cluster, probes):
-    return [object()]  # not JSON-serializable
+def _unpicklable_check(facts):
+    return object()  # a "violation message" that is not JSON-serializable
 
 
 def _empty_build(cluster):
     return {}
 
 
-def _no_violations(cluster, probes):
-    return []
+_NO_CONTRACTS = ContractSet(name="none", contracts=())
 
+_UNJSON_SET = ContractSet(
+    name="unjson",
+    contracts=(ProbeContract(name="unjson",
+                             description="returns an unserializable message",
+                             check=_unpicklable_check),),
+)
 
 _HOSTILE = {
     "boom": Scenario(name="boom", description="raises during build",
                      names=("a", "b"), run_until=1000,
-                     build=_boom_build, check=_no_violations),
+                     build=_boom_build, contracts=_NO_CONTRACTS),
     "die": Scenario(name="die", description="SIGKILLs its worker",
                     names=("a", "b"), run_until=1000,
-                    build=_die_build, check=_no_violations),
+                    build=_die_build, contracts=_NO_CONTRACTS),
     "die_once": Scenario(name="die_once", description="kills one worker",
                          names=("a", "b"), run_until=1000,
-                         build=_die_once_build, check=_no_violations),
+                         build=_die_once_build, contracts=_NO_CONTRACTS),
     "hang": Scenario(name="hang", description="sleeps forever",
                      names=("a", "b"), run_until=1000,
-                     build=_hang_build, check=_no_violations),
+                     build=_hang_build, contracts=_NO_CONTRACTS),
     "unjson": Scenario(name="unjson", description="unserializable verdict",
                        names=("a", "b"), run_until=1000,
-                       build=_empty_build, check=_unpicklable_check),
+                       build=_empty_build, contracts=_UNJSON_SET),
 }
 
 

@@ -116,3 +116,16 @@ def test_help_and_quit():
     assert "connect app server" in text
     assert repl.done
     assert "pilgrim.agent" not in text  # ps output never appeared
+
+
+def test_check_and_contracts_commands():
+    cluster, repl = make_repl()
+    repl.execute("contracts")
+    assert any("single_leader" in line for line in repl.lines)
+    # check needs a loaded trace: record a slice, then fold over it.
+    repl.run_script(["record", "run 50ms", "record stop", "check"])
+    assert any(line.strip().startswith("OK") for line in repl.lines)
+    repl.lines.clear()
+    repl.execute("check clock_monotonicity")
+    assert any("clock_monotonicity" in line and "pass" in line
+               for line in repl.lines)

@@ -289,3 +289,25 @@ def test_detector_flags_receive_order_inversion():
 
 def test_same_seed_never_races():
     assert detect_races(_race_trace(seed=1), _race_trace(seed=1)) == []
+
+
+def test_why_halted_carries_the_invariant_level_why():
+    """Both why_halted shapes include the first contract violation."""
+    from repro.campaign.scenarios import get_plan, get_scenario
+    from repro.contracts.report import ContractViolation
+    from repro.replay.replay import record_run
+    from repro.replay.timetravel import TimeTravel
+
+    scenario = get_scenario("kv")
+    trace = record_run(scenario.build, list(scenario.names), seed=0,
+                       run_until=scenario.run_until,
+                       plan=get_plan("leader_partition"))
+    travel = TimeTravel(trace)
+    travel.at(trace.final_time)
+    verdict = travel.why_halted()
+    violation = verdict["contract"]
+    assert isinstance(violation, ContractViolation)
+    assert violation.contract == "single_leader"
+    # Before the split brain the same key answers None.
+    travel.at(violation.time - 1)
+    assert travel.why_halted()["contract"] is None

@@ -245,6 +245,29 @@ def test_trace_session_over_wire(daemon, tmp_path):
         assert excinfo.value.code == "unsupported"
 
 
+def test_contract_check_over_wire(daemon, tmp_path):
+    """``check``/``contracts`` round-trip as typed records."""
+    from repro.contracts import UNIVERSAL_SET, ContractReport, check_trace
+    from repro.replay import Trace
+
+    trace_path = record_echo_trace(tmp_path)
+    with ServiceClient(daemon) as client:
+        client.open("t1", "trace", path=str(trace_path))
+        session = client.session("t1")
+        session.connect()
+        report = session.check()
+        assert isinstance(report, ContractReport)
+        local = check_trace(Trace.load(trace_path), UNIVERSAL_SET)
+        assert report.canonical() == local.canonical()
+        named = session.check(["single_leader"])
+        assert list(named.verdicts) == ["single_leader"]
+        rows = session.contracts()
+        assert any(row["name"] == "exactly_once_delivery" for row in rows)
+        text = client.text("check", session="t1")
+        assert any(line.strip().startswith(("OK", "VIOLATED"))
+                   for line in text.splitlines())
+
+
 def test_two_session_kinds_coexist(daemon, tmp_path):
     trace_path = record_echo_trace(tmp_path)
     with ServiceClient(daemon) as client:

@@ -23,6 +23,7 @@ from pathlib import Path
 #: the ruff D per-file selection in pyproject.toml).
 GATED = (
     "src/repro/campaign",
+    "src/repro/contracts",
     "src/repro/debugger",
     "src/repro/faults",
     "src/repro/kernel",

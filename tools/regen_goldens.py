@@ -20,6 +20,35 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 
+def _write_report_goldens() -> None:
+    """Regenerate the committed contract-report goldens.
+
+    Two pinned reports: the universal catalogue folded over the golden
+    echo trace, and the KV scenario's own set over its split-brain run
+    (see ``tests/test_contracts.py``).
+    """
+    import json
+
+    from repro.campaign.scenarios import get_plan, get_scenario
+    from repro.contracts import UNIVERSAL_SET, check_trace
+    from repro.replay import Trace
+    from repro.replay.replay import record_run
+    from tests.test_contracts import ECHO_REPORT_GOLDEN, KV_REPORT_GOLDEN
+    from tests.golden_scenario import GOLDEN_PATH
+
+    echo = check_trace(Trace.load(GOLDEN_PATH), UNIVERSAL_SET)
+    scenario = get_scenario("kv")
+    trace = record_run(scenario.build, list(scenario.names), seed=0,
+                       run_until=scenario.run_until,
+                       plan=get_plan("leader_partition"))
+    kv = check_trace(trace, scenario.contracts)
+    for path, report in ((ECHO_REPORT_GOLDEN, echo), (KV_REPORT_GOLDEN, kv)):
+        path.write_text(json.dumps(json.loads(report.canonical()),
+                                   sort_keys=True, indent=2) + "\n")
+        print(f"wrote {path} ({len(report.verdicts)} verdicts, "
+              f"{len(report.violations)} violations)")
+
+
 def main() -> int:
     """Record the golden scenario and write both format twins."""
     from repro.replay import Trace
@@ -39,6 +68,7 @@ def main() -> int:
             return 1
         print(f"wrote {path} ({len(reread.events)} events, "
               f"{path.stat().st_size} bytes)")
+    _write_report_goldens()
     print(f"fingerprint {fingerprint}")
     print("update tests/test_golden_trace.py::GOLDEN_FINGERPRINT if it changed")
     return 0
